@@ -1,0 +1,212 @@
+// Top-level benchmark harness: one testing.B benchmark per figure panel of
+// the paper's evaluation (§V), plus the ablations DESIGN.md lists. Each
+// benchmark regenerates the corresponding figure's quantity — per-element
+// update cost for Figure 2, final AAPE/ARMSE (reported via b.ReportMetric)
+// for Figure 3 — at laptop scale.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// For the full-resolution figures (larger scales, bigger k sweeps), use
+// cmd/vosbench, which prints the complete tables.
+package vos_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/vossketch/vos"
+	"github.com/vossketch/vos/internal/experiments"
+	"github.com/vossketch/vos/internal/gen"
+	"github.com/vossketch/vos/internal/similarity"
+)
+
+// benchOptions shrink the workloads so a full -bench=. pass stays in the
+// minutes range; vosbench runs the full-size versions.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Scale:        0.004,
+		Seed:         2,
+		K32:          100,
+		Lambda:       2,
+		TopUsers:     60,
+		MinCommon:    1,
+		MaxPairs:     200,
+		Checkpoints:  6,
+		RuntimeUsers: 500,
+		RuntimeEdges: 20_000,
+		RuntimeKs:    []int{1, 10, 100, 1000},
+	}
+}
+
+// benchStream memoises the Figure 2 runtime workload.
+var benchStreamCache []vos.Edge
+
+func benchStream(b *testing.B) []vos.Edge {
+	b.Helper()
+	if benchStreamCache == nil {
+		p := gen.YouTube
+		p.Users = 500
+		p.Items = 2000
+		p.Edges = 20_000
+		base := gen.Bipartite(p, 2)
+		benchStreamCache = gen.Dynamize(base, gen.PaperDynamize(len(base), 3))
+	}
+	return benchStreamCache
+}
+
+// BenchmarkFig2a regenerates Figure 2(a): per-element update cost on the
+// YouTube-shaped workload as k sweeps, for all four methods. ns/op is the
+// figure's y-axis (the paper plots seconds for a fixed stream, which is
+// ns/edge times stream length).
+func BenchmarkFig2a(b *testing.B) {
+	edges := benchStream(b)
+	for _, k := range benchOptions().RuntimeKs {
+		for _, method := range vos.Methods {
+			b.Run(fmt.Sprintf("k=%d/%s", k, method), func(b *testing.B) {
+				est := vos.MustNewEstimator(method,
+					vos.Budget{K32: k, Users: 500, Lambda: 2}, 1)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					est.Process(edges[i%len(edges)])
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig2b regenerates Figure 2(b): per-element update cost at the
+// largest swept k on each dataset-shaped workload.
+func BenchmarkFig2b(b *testing.B) {
+	opts := benchOptions()
+	k := opts.RuntimeKs[len(opts.RuntimeKs)-1]
+	for _, p := range gen.Profiles {
+		rp := p
+		rp.Users = opts.RuntimeUsers
+		rp.Items = opts.RuntimeUsers * 4
+		rp.Edges = opts.RuntimeEdges
+		base := gen.Bipartite(rp, opts.Seed)
+		edges := gen.Dynamize(base, gen.PaperDynamize(len(base), opts.Seed+1))
+		for _, method := range vos.Methods {
+			b.Run(fmt.Sprintf("%s/%s", p.Name, method), func(b *testing.B) {
+				est := vos.MustNewEstimator(method,
+					vos.Budget{K32: k, Users: int(opts.RuntimeUsers), Lambda: 2}, 1)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					est.Process(edges[i%len(edges)])
+				}
+			})
+		}
+	}
+}
+
+// accuracyBench runs the §V accuracy protocol once per iteration and
+// reports the requested final metric for every method as custom benchmark
+// metrics (AAPE_<method> or ARMSE_<method>).
+func accuracyBench(b *testing.B, p gen.Profile, metric string) {
+	opts := benchOptions()
+	var last *experiments.AccuracyResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunAccuracy(p, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, m := range similarity.Methods {
+		var v float64
+		if metric == "AAPE" {
+			v = last.AAPE.Get(m).Last()
+		} else {
+			v = last.ARMSE.Get(m).Last()
+		}
+		b.ReportMetric(v, metric+"_"+m)
+	}
+}
+
+// BenchmarkFig3a regenerates Figure 3(a): the AAPE-over-time experiment on
+// YouTube (final AAPE per method reported as metrics; the full trajectory
+// comes from `vosbench -experiment fig3a`).
+func BenchmarkFig3a(b *testing.B) {
+	accuracyBench(b, gen.YouTube, "AAPE")
+}
+
+// BenchmarkFig3c regenerates Figure 3(c): ARMSE over time on YouTube.
+func BenchmarkFig3c(b *testing.B) {
+	accuracyBench(b, gen.YouTube, "ARMSE")
+}
+
+// BenchmarkFig3b regenerates Figure 3(b): final AAPE on each dataset.
+func BenchmarkFig3b(b *testing.B) {
+	for _, p := range gen.Profiles {
+		b.Run(p.Name, func(b *testing.B) {
+			accuracyBench(b, p, "AAPE")
+		})
+	}
+}
+
+// BenchmarkFig3d regenerates Figure 3(d): final ARMSE on each dataset.
+func BenchmarkFig3d(b *testing.B) {
+	for _, p := range gen.Profiles {
+		b.Run(p.Name, func(b *testing.B) {
+			accuracyBench(b, p, "ARMSE")
+		})
+	}
+}
+
+// BenchmarkAblLambda regenerates the λ-sensitivity ablation; the table
+// itself comes from `vosbench -experiment abl-lambda`.
+func BenchmarkAblLambda(b *testing.B) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblLambda(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblLoad regenerates the array-load ablation.
+func BenchmarkAblLoad(b *testing.B) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblLoad(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblDense regenerates the densification ablation.
+func BenchmarkAblDense(b *testing.B) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblDense(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblDelBias regenerates the deletion-pressure bias ablation.
+func BenchmarkAblDelBias(b *testing.B) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblDelBias(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryCost measures the O(k) pair-query cost of VOS at the
+// paper's accuracy configuration (k = 6400 virtual bits), the counterpart
+// to the O(1) update cost of Figure 2.
+func BenchmarkQueryCost(b *testing.B) {
+	sk := vos.MustNew(vos.Config{MemoryBits: 1 << 24, SketchBits: 6400, Seed: 1})
+	for i := 0; i < 500; i++ {
+		sk.Process(vos.Edge{User: 1, Item: vos.Item(i), Op: vos.Insert})
+		sk.Process(vos.Edge{User: 2, Item: vos.Item(i + 250), Op: vos.Insert})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sk.Query(1, 2)
+	}
+}

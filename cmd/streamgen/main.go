@@ -1,0 +1,91 @@
+// Command streamgen generates fully dynamic graph-stream workload files:
+// a synthetic bipartite graph shaped like one of the paper's four datasets
+// (YouTube, Flickr, Orkut, LiveJournal), dynamized with the Trièst-style
+// mass-deletion model (§V: d = 0.5), written in the module's text or
+// binary stream format.
+//
+// Usage:
+//
+//	streamgen -dataset YouTube -scale 0.01 -o youtube.stream
+//	streamgen -dataset Flickr -scale 0.005 -format text -o flickr.txt
+//	streamgen -dataset Orkut -stats            # print statistics only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/vossketch/vos/internal/gen"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "YouTube", "profile: YouTube, Flickr, Orkut, LiveJournal")
+		scale    = flag.Float64("scale", 0.01, "profile scale factor (paper scale = 1.0)")
+		seed     = flag.Int64("seed", 2, "generation seed")
+		q        = flag.Float64("q", -1, "mass-deletion event probability per element (-1 = paper scaling)")
+		d        = flag.Float64("d", 0.5, "per-edge deletion probability within an event")
+		reinsert = flag.Bool("reinsert", false, "re-queue deleted edges for later re-subscription")
+		format   = flag.String("format", "binary", "output format: binary or text")
+		out      = flag.String("o", "", "output file (default stdout)")
+		stats    = flag.Bool("stats", false, "print stream statistics to stderr")
+	)
+	flag.Parse()
+
+	profile, err := gen.ProfileByName(*dataset)
+	if err != nil {
+		fatal(err)
+	}
+	scaled := profile.Scaled(*scale)
+	base := gen.Bipartite(scaled, *seed)
+
+	cfg := gen.PaperDynamize(len(base), *seed+1)
+	cfg.DeleteFrac = *d
+	cfg.Reinsert = *reinsert
+	if *q >= 0 {
+		cfg.EventProb = *q
+	}
+	edges := gen.Dynamize(base, cfg)
+
+	if *stats {
+		st := stream.NewStats()
+		for _, e := range edges {
+			st.Observe(e)
+		}
+		fmt.Fprintf(os.Stderr, "streamgen: %s scale=%g seed=%d q=%.3g d=%.2f\n",
+			scaled, *scale, *seed, cfg.EventProb, cfg.DeleteFrac)
+		fmt.Fprintf(os.Stderr, "streamgen: %s\n", st)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	switch *format {
+	case "binary":
+		err = stream.WriteBinary(w, edges)
+	case "text":
+		err = stream.WriteText(w, edges)
+	default:
+		err = fmt.Errorf("unknown format %q (want binary or text)", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "streamgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,198 @@
+// Command vosbench regenerates the paper's evaluation figures and the
+// repository's ablation tables from scratch: it generates the workloads,
+// runs every method under the §V memory-equalised protocol, and prints the
+// rows the corresponding figure plots.
+//
+// Usage:
+//
+//	vosbench -experiment fig3a
+//	vosbench -experiment all -scale 0.02 -csv
+//
+// Experiments: fig2a, fig2b, fig3a, fig3b, fig3c, fig3d, abl-lambda,
+// abl-load, abl-dense, abl-delbias, compare, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/vossketch/vos/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (fig2a fig2b fig3a fig3b fig3c fig3d abl-lambda abl-load abl-dense abl-delbias compare all)")
+		scale      = flag.Float64("scale", 0.01, "dataset profile scale factor (paper scale = 1.0)")
+		seed       = flag.Int64("seed", 2, "workload seed")
+		k32        = flag.Int("k", 100, "registers per user for the baselines (paper: 100)")
+		lambda     = flag.Int("lambda", 2, "VOS virtual-sketch multiplier (paper: 2)")
+		topUsers   = flag.Int("topusers", 100, "highest-cardinality users seeding tracked pairs")
+		maxPairs   = flag.Int("maxpairs", 500, "cap on tracked pairs")
+		checks     = flag.Int("checkpoints", 12, "measurement points for over-time panels")
+		runtimeKs  = flag.String("runtime-ks", "1,10,100,1000,10000", "comma-separated k sweep for fig2")
+		dataset    = flag.String("dataset", "YouTube", "profile for single-dataset experiments (YouTube, Flickr, Orkut, LiveJournal)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		outdir     = flag.String("outdir", "", "also write each table as <outdir>/<id>.csv")
+	)
+	flag.Parse()
+
+	ks, err := parseKs(*runtimeKs)
+	if err != nil {
+		fatal(err)
+	}
+	opts := experiments.Options{
+		Scale:       *scale,
+		Seed:        *seed,
+		K32:         *k32,
+		Lambda:      *lambda,
+		TopUsers:    *topUsers,
+		MaxPairs:    *maxPairs,
+		Checkpoints: *checks,
+		Dataset:     *dataset,
+		RuntimeKs:   ks,
+	}
+
+	tables, err := run(*experiment, opts)
+	if err != nil {
+		fatal(err)
+	}
+	for _, t := range tables {
+		if *csv {
+			err = t.RenderCSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if *outdir != "" {
+			if err := writeCSV(*outdir, t); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+// writeCSV persists one table under dir as <id>.csv.
+func writeCSV(dir string, t *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := t.RenderCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(id string, opts experiments.Options) ([]*experiments.Table, error) {
+	switch id {
+	case "fig2a":
+		t, err := experiments.Fig2a(opts)
+		return one(t, err)
+	case "fig2b":
+		t, err := experiments.Fig2b(opts)
+		return one(t, err)
+	case "fig3a":
+		a, _, err := experiments.Fig3TimeSeries(opts)
+		return one(a, err)
+	case "fig3c":
+		_, c, err := experiments.Fig3TimeSeries(opts)
+		return one(c, err)
+	case "fig3b":
+		b, _, err := experiments.Fig3Final(opts)
+		return one(b, err)
+	case "fig3d":
+		_, d, err := experiments.Fig3Final(opts)
+		return one(d, err)
+	case "abl-lambda":
+		t, err := experiments.AblLambda(opts)
+		return one(t, err)
+	case "abl-load":
+		t, err := experiments.AblLoad(opts)
+		return one(t, err)
+	case "abl-dense":
+		t, err := experiments.AblDense(opts)
+		return one(t, err)
+	case "abl-delbias":
+		t, err := experiments.AblDelBias(opts)
+		return one(t, err)
+	case "compare":
+		t, err := experiments.Compare(opts)
+		return one(t, err)
+	case "all":
+		var out []*experiments.Table
+		f2a, err := experiments.Fig2a(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f2a)
+		f2b, err := experiments.Fig2b(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f2b)
+		f3a, f3c, err := experiments.Fig3TimeSeries(opts)
+		if err != nil {
+			return nil, err
+		}
+		f3b, f3d, err := experiments.Fig3Final(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f3a, f3b, f3c, f3d)
+		for _, fn := range []func(experiments.Options) (*experiments.Table, error){
+			experiments.AblLambda, experiments.AblLoad,
+			experiments.AblDense, experiments.AblDelBias,
+		} {
+			t, err := fn(opts)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, t)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("vosbench: unknown experiment %q", id)
+	}
+}
+
+func one(t *experiments.Table, err error) ([]*experiments.Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*experiments.Table{t}, nil
+}
+
+func parseKs(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		k, err := strconv.Atoi(p)
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("vosbench: bad k %q in -runtime-ks", p)
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("vosbench: empty -runtime-ks")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vosbench:", err)
+	os.Exit(1)
+}

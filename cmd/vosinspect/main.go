@@ -1,0 +1,125 @@
+// Command vosinspect builds, saves, inspects and queries VOS sketches from
+// recorded stream files, demonstrating the production workflow: a stream
+// worker builds and checkpoints the sketch, a query service loads it and
+// answers similarity queries.
+//
+// Usage:
+//
+//	# build a sketch from a stream file (see cmd/streamgen)
+//	vosinspect -stream youtube.stream -m 4194304 -k 6400 -o youtube.vos
+//
+//	# inspect a saved sketch
+//	vosinspect -sketch youtube.vos
+//
+//	# query a user pair against a saved sketch
+//	vosinspect -sketch youtube.vos -query 17,42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/vossketch/vos"
+)
+
+func main() {
+	var (
+		streamPath = flag.String("stream", "", "binary stream file to build from")
+		memBits    = flag.Uint64("m", 1<<22, "shared array size in bits")
+		kBits      = flag.Int("k", 6400, "virtual sketch size in bits")
+		seed       = flag.Uint64("seed", 1, "sketch seed")
+		out        = flag.String("o", "", "write the built sketch to this file")
+		sketchPath = flag.String("sketch", "", "saved sketch file to inspect/query")
+		query      = flag.String("query", "", "user pair to query, as \"u,v\"")
+	)
+	flag.Parse()
+
+	var sk *vos.Sketch
+	switch {
+	case *streamPath != "":
+		f, err := os.Open(*streamPath)
+		if err != nil {
+			fatal(err)
+		}
+		edges, err := vos.ReadStreamBinary(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		sk, err = vos.New(vos.Config{MemoryBits: *memBits, SketchBits: *kBits, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range edges {
+			sk.Process(e)
+		}
+		fmt.Printf("built sketch from %d stream elements\n", len(edges))
+		if *out != "" {
+			data, err := sk.MarshalBinary()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("saved to %s (%d bytes)\n", *out, len(data))
+		}
+	case *sketchPath != "":
+		data, err := os.ReadFile(*sketchPath)
+		if err != nil {
+			fatal(err)
+		}
+		sk, err = vos.Unmarshal(data)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	st := sk.Stats()
+	fmt.Printf("memory:      %d bits (%d bytes on wire)\n", st.MemoryBits, st.MemoryBytes)
+	fmt.Printf("virtual k:   %d bits\n", st.SketchBits)
+	fmt.Printf("array load:  β = %.4f (%d ones)\n", st.Beta, st.OnesCount)
+	fmt.Printf("users:       %d with nonzero cardinality\n", st.Users)
+
+	if *query != "" {
+		u, v, err := parsePair(*query)
+		if err != nil {
+			fatal(err)
+		}
+		est := sk.Query(u, v)
+		fmt.Printf("query (%d, %d):\n", u, v)
+		fmt.Printf("  cardinalities:     n_u = %d, n_v = %d\n", est.CardinalityU, est.CardinalityV)
+		fmt.Printf("  common items ŝ:    %.2f (clamped %.2f)\n", est.Common, est.CommonClamped)
+		fmt.Printf("  jaccard Ĵ:         %.4f\n", est.Jaccard)
+		fmt.Printf("  symmetric diff:    %.2f\n", est.SymmetricDifference)
+		fmt.Printf("  diagnostics:       α = %.4f, β = %.4f, saturated = %v\n",
+			est.Alpha, est.Beta, est.Saturated)
+	}
+}
+
+func parsePair(s string) (vos.User, vos.User, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want \"u,v\", got %q", s)
+	}
+	u, err := strconv.ParseUint(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	return vos.User(u), vos.User(v), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vosinspect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestParsePair(t *testing.T) {
+	u, v, err := parsePair("17, 42")
+	if err != nil || u != 17 || v != 42 {
+		t.Errorf("parsePair = %d, %d, %v", u, v, err)
+	}
+	for _, bad := range []string{"", "1", "1,2,3", "x,2", "1,y"} {
+		if _, _, err := parsePair(bad); err == nil {
+			t.Errorf("parsePair(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package vos
+
+import (
+	"sync"
+)
+
+// ConcurrentSketch wraps a Sketch with a read-write mutex so one writer
+// (the stream consumer) and many readers (query servers) can share it.
+//
+// For write-heavy pipelines, prefer sharding: run one plain Sketch per
+// stream partition with identical Config and combine with Sketch.Merge —
+// merging is exact for any partition of the stream.
+type ConcurrentSketch struct {
+	mu sync.RWMutex
+	sk *Sketch
+}
+
+// NewConcurrent creates a thread-safe VOS sketch.
+func NewConcurrent(cfg Config) (*ConcurrentSketch, error) {
+	sk, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentSketch{sk: sk}, nil
+}
+
+// Process folds one element into the sketch.
+func (c *ConcurrentSketch) Process(e Edge) {
+	c.mu.Lock()
+	c.sk.Process(e)
+	c.mu.Unlock()
+}
+
+// Query estimates the similarity of two users.
+func (c *ConcurrentSketch) Query(u, v User) Estimate {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sk.Query(u, v)
+}
+
+// Cardinality returns the tracked n_u.
+func (c *ConcurrentSketch) Cardinality(u User) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sk.Cardinality(u)
+}
+
+// Beta returns the current array load.
+func (c *ConcurrentSketch) Beta() float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sk.Beta()
+}
+
+// Stats returns a snapshot of sketch state.
+func (c *ConcurrentSketch) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sk.Stats()
+}
+
+// Snapshot serializes the sketch under the read lock; the result can be
+// restored with Unmarshal.
+func (c *ConcurrentSketch) Snapshot() ([]byte, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sk.MarshalBinary()
+}
+
+// Merge folds a plain Sketch (e.g. a shard) into this one.
+func (c *ConcurrentSketch) Merge(other *Sketch) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sk.Merge(other)
+}

@@ -1,0 +1,71 @@
+package vos
+
+import (
+	"github.com/vossketch/vos/internal/similarity"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// Estimator is the common interface of every similarity estimation method
+// in this module: the VOS sketch, the three baselines the paper compares
+// against (MinHash, OPH, RP), and the exact oracle. It lets applications
+// and benchmarks swap methods without code changes.
+type Estimator = similarity.Estimator
+
+// Budget is the paper's memory-equalisation model: every method receives
+// m = 32·K32·Users bits in total. See similarity.Budget.
+type Budget = similarity.Budget
+
+// Method names accepted by NewEstimator.
+const (
+	// MethodVOS selects the paper's sketch (this module's core).
+	MethodVOS = similarity.MethodVOS
+	// MethodMinHash selects the MinHash baseline with the §III dynamic
+	// extension (k hash functions, O(k) updates, deletion-biased).
+	MethodMinHash = similarity.MethodMinHash
+	// MethodOPH selects one permutation hashing with the §III dynamic
+	// extension (O(1) updates, deletion-biased).
+	MethodOPH = similarity.MethodOPH
+	// MethodRP selects random pairing (k uniform samplers per user,
+	// O(k) updates, unbiased but high-variance).
+	MethodRP = similarity.MethodRP
+	// MethodExact selects the exact oracle (unbounded memory).
+	MethodExact = similarity.MethodExact
+)
+
+// Methods lists the four sketch methods in the paper's plotting order.
+var Methods = similarity.Methods
+
+// NewEstimator builds a similarity estimator of the given method under a
+// memory budget. Method names are case-insensitive.
+func NewEstimator(method string, budget Budget, seed uint64) (Estimator, error) {
+	return similarity.New(method, budget, seed)
+}
+
+// MustNewEstimator is NewEstimator for static configurations; it panics on
+// error.
+func MustNewEstimator(method string, budget Budget, seed uint64) Estimator {
+	return similarity.MustNew(method, budget, seed)
+}
+
+// NewExact builds the exact ground-truth oracle. Its estimates are exact
+// values; memory grows with the live graph.
+func NewExact() Estimator { return similarity.NewExact() }
+
+// TopSimilar returns the n users among candidates most similar to u under
+// the estimator's Jaccard estimate, most similar first.
+func TopSimilar(est Estimator, u User, candidates []User, n int) []User {
+	return similarity.TopSimilar(est, u, candidates, n)
+}
+
+// ProcessAll folds a batch of elements into an estimator, a convenience
+// for replaying recorded streams.
+func ProcessAll(est Estimator, edges []Edge) {
+	for _, e := range edges {
+		est.Process(e)
+	}
+}
+
+// Validate checks that an edge sequence is feasible (no duplicate
+// subscriptions, no unsubscriptions of absent edges) and returns the first
+// violation, or nil. The sketches assume feasible input.
+func Validate(edges []Edge) error { return stream.Validate(edges) }

@@ -1,0 +1,78 @@
+// Quickstart: the smallest useful VOS program.
+//
+// It builds a sketch, streams subscriptions and unsubscriptions for two
+// users, and queries their similarity — comparing against the exact values
+// so you can see what the estimate buys and what it costs.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"github.com/vossketch/vos"
+)
+
+func main() {
+	// A sketch needs three numbers:
+	//   MemoryBits — the shared bit array size m; bigger means less
+	//                cross-user contamination (lower β).
+	//   SketchBits — the virtual per-user odd sketch size k; bigger
+	//                means finer similarity resolution, O(k) query cost.
+	//   Seed       — reproducibility; sketches built with the same seed
+	//                from the same stream are bit-identical.
+	sk := vos.MustNew(vos.Config{
+		MemoryBits: 1 << 22, // 4 Mbit = 512 KiB
+		SketchBits: 4096,
+		Seed:       42,
+	})
+
+	alice := vos.UserFromString("alice")
+	bob := vos.UserFromString("bob")
+
+	// The exact oracle tracks ground truth so the demo can show the
+	// estimation error; a real deployment would not (that is the point
+	// of sketching).
+	truth := vos.NewExact()
+
+	process := func(e vos.Edge) {
+		sk.Process(e) // O(1): one hash, one bit flip
+		truth.Process(e)
+	}
+
+	// Alice subscribes to channels 0-199, Bob to 100-299: they share
+	// channels 100-199.
+	for i := 0; i < 200; i++ {
+		process(vos.Edge{User: alice, Item: vos.Item(i), Op: vos.Insert})
+	}
+	for i := 100; i < 300; i++ {
+		process(vos.Edge{User: bob, Item: vos.Item(i), Op: vos.Insert})
+	}
+
+	fmt.Println("after subscriptions:")
+	report(sk, truth, alice, bob)
+
+	// Alice unsubscribes channels 100-149 — precisely the situation
+	// where MinHash-style sketches go wrong and VOS does not: deletions
+	// are XOR toggles that cancel the earlier insertions exactly.
+	for i := 100; i < 150; i++ {
+		process(vos.Edge{User: alice, Item: vos.Item(i), Op: vos.Delete})
+	}
+
+	fmt.Println("\nafter alice unsubscribes 50 shared channels:")
+	report(sk, truth, alice, bob)
+
+	st := sk.Stats()
+	fmt.Printf("\nsketch state: m = %d bits, k = %d, β = %.4f, %d users\n",
+		st.MemoryBits, st.SketchBits, st.Beta, st.Users)
+}
+
+func report(sk *vos.Sketch, truth vos.Estimator, a, b vos.User) {
+	est := sk.Query(a, b)
+	fmt.Printf("  common items:  estimated %6.1f   exact %3.0f\n",
+		est.Common, truth.EstimateCommonItems(a, b))
+	fmt.Printf("  jaccard:       estimated %6.3f   exact %.3f\n",
+		est.Jaccard, truth.EstimateJaccard(a, b))
+}

@@ -1,0 +1,177 @@
+// A similarity query service: one writer goroutine ingests the event
+// stream while an HTTP API serves similarity queries from the shared VOS
+// sketch — the deployment shape the paper's O(1)-update / O(k)-query split
+// is designed for.
+//
+// Endpoints:
+//
+//	POST /event?user=U&item=I&op=+|-   ingest one subscription event
+//	GET  /similarity?u=U&v=V           estimate s_uv and Jaccard
+//	GET  /stats                        sketch state (β, memory, users)
+//
+// The program starts the server on a local port, drives a simulated
+// workload against it over HTTP, issues a few queries, and shuts down —
+// so `go run ./examples/similarityserver` is self-contained and exits.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"time"
+
+	"github.com/vossketch/vos"
+)
+
+// server wraps the concurrent sketch with the HTTP API.
+type server struct {
+	sketch *vos.ConcurrentSketch
+}
+
+func (s *server) handleEvent(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	u, errU := parseID(q.Get("user"))
+	i, errI := parseID(q.Get("item"))
+	if errU != nil || errI != nil {
+		http.Error(w, "user and item must be unsigned integers", http.StatusBadRequest)
+		return
+	}
+	var op vos.Op
+	switch q.Get("op") {
+	case "+", "":
+		op = vos.Insert
+	case "-":
+		op = vos.Delete
+	default:
+		http.Error(w, "op must be + or -", http.StatusBadRequest)
+		return
+	}
+	s.sketch.Process(vos.Edge{User: vos.User(u), Item: vos.Item(i), Op: op})
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	u, errU := parseID(q.Get("u"))
+	v, errV := parseID(q.Get("v"))
+	if errU != nil || errV != nil {
+		http.Error(w, "u and v must be unsigned integers", http.StatusBadRequest)
+		return
+	}
+	est := s.sketch.Query(vos.User(u), vos.User(v))
+	writeJSON(w, map[string]any{
+		"common_items":  est.CommonClamped,
+		"jaccard":       est.Jaccard,
+		"cardinality_u": est.CardinalityU,
+		"cardinality_v": est.CardinalityV,
+		"saturated":     est.Saturated,
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.sketch.Stats()
+	writeJSON(w, map[string]any{
+		"memory_bits": st.MemoryBits,
+		"sketch_bits": st.SketchBits,
+		"beta":        st.Beta,
+		"users":       st.Users,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}
+
+func parseID(s string) (uint64, error) {
+	var x uint64
+	_, err := fmt.Sscanf(s, "%d", &x)
+	return x, err
+}
+
+func main() {
+	sk, err := vos.NewConcurrent(vos.Config{
+		MemoryBits: 1 << 22,
+		SketchBits: 4096,
+		Seed:       3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &server{sketch: sk}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/event", srv.handleEvent)
+	mux.HandleFunc("/similarity", srv.handleSimilarity)
+	mux.HandleFunc("/stats", srv.handleStats)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+	httpSrv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	fmt.Printf("similarity service listening on %s\n\n", base)
+
+	// Drive a workload over the wire: two overlapping users plus noise,
+	// including unsubscriptions.
+	client := &http.Client{Timeout: 5 * time.Second}
+	post := func(user, item uint64, op string) {
+		u := fmt.Sprintf("%s/event?user=%d&item=%d&op=%s", base, user, item, url.QueryEscape(op))
+		resp, err := client.Post(u, "", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := uint64(0); i < 300; i++ {
+		post(1, i, "+")
+	}
+	for i := uint64(150); i < 450; i++ {
+		post(2, i, "+")
+	}
+	for i := uint64(0); i < 2000; i++ { // background users
+		post(100+i%50, rng.Uint64()%100000, "+")
+	}
+	for i := uint64(150); i < 200; i++ { // user 1 unsubscribes 50 shared
+		post(1, i, "-")
+	}
+	fmt.Println("ingested 2650 events over HTTP (300 + 300 subscriptions, noise, 50 unsubscriptions)")
+
+	get := func(path string) string {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf [512]byte
+		n, _ := resp.Body.Read(buf[:])
+		return string(buf[:n])
+	}
+	fmt.Println("\nGET /similarity?u=1&v=2")
+	fmt.Println("  " + get("/similarity?u=1&v=2"))
+	fmt.Println("  (true common items: 100, true Jaccard: 100/450 ≈ 0.222)")
+	fmt.Println("GET /stats")
+	fmt.Println("  " + get("/stats"))
+
+	if err := httpSrv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nserver stopped")
+}

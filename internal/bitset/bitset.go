@@ -1,0 +1,217 @@
+// Package bitset implements a fixed-length bit array with O(1) maintained
+// popcount, the storage substrate for both the shared array A of VOS and the
+// per-set odd sketches.
+//
+// The VOS update rule needs two operations to be constant time: flipping one
+// bit, and reading the global fraction of 1-bits (the paper's β counter).
+// Bitset keeps a running ones count updated on every mutation so both are
+// O(1); the paper's separate β bookkeeping becomes a single division.
+package bitset
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Bitset is a fixed-length array of bits with a maintained count of 1-bits.
+// The zero value is unusable; construct with New. Bitset is not safe for
+// concurrent mutation.
+type Bitset struct {
+	words []uint64
+	n     uint64 // number of valid bits
+	ones  uint64 // maintained popcount
+}
+
+// New creates a Bitset of n zero bits. n must be >= 1.
+func New(n uint64) *Bitset {
+	if n == 0 {
+		panic("bitset: length must be positive")
+	}
+	return &Bitset{
+		words: make([]uint64, (n+63)/64),
+		n:     n,
+	}
+}
+
+// Len returns the number of bits.
+func (b *Bitset) Len() uint64 { return b.n }
+
+// Count returns the number of 1-bits, in O(1).
+func (b *Bitset) Count() uint64 { return b.ones }
+
+// OnesFraction returns Count()/Len(), the paper's β when the Bitset is the
+// shared array A.
+func (b *Bitset) OnesFraction() float64 {
+	return float64(b.ones) / float64(b.n)
+}
+
+// Get returns bit i.
+func (b *Bitset) Get(i uint64) bool {
+	b.check(i)
+	return b.words[i>>6]&(1<<(i&63)) != 0
+}
+
+// GetBit returns bit i as 0 or 1, convenient for XOR arithmetic.
+func (b *Bitset) GetBit(i uint64) uint64 {
+	b.check(i)
+	return (b.words[i>>6] >> (i & 63)) & 1
+}
+
+// Set sets bit i to 1.
+func (b *Bitset) Set(i uint64) {
+	b.check(i)
+	w, m := i>>6, uint64(1)<<(i&63)
+	if b.words[w]&m == 0 {
+		b.words[w] |= m
+		b.ones++
+	}
+}
+
+// Clear sets bit i to 0.
+func (b *Bitset) Clear(i uint64) {
+	b.check(i)
+	w, m := i>>6, uint64(1)<<(i&63)
+	if b.words[w]&m != 0 {
+		b.words[w] &^= m
+		b.ones--
+	}
+}
+
+// Flip toggles bit i and returns its new value. This is the O(1) XOR update
+// at the heart of VOS.
+func (b *Bitset) Flip(i uint64) bool {
+	b.check(i)
+	w, m := i>>6, uint64(1)<<(i&63)
+	b.words[w] ^= m
+	if b.words[w]&m != 0 {
+		b.ones++
+		return true
+	}
+	b.ones--
+	return false
+}
+
+// SetTo forces bit i to v.
+func (b *Bitset) SetTo(i uint64, v bool) {
+	if v {
+		b.Set(i)
+	} else {
+		b.Clear(i)
+	}
+}
+
+// Reset zeroes every bit.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	b.ones = 0
+}
+
+// Clone returns a deep copy.
+func (b *Bitset) Clone() *Bitset {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitset{words: w, n: b.n, ones: b.ones}
+}
+
+// Equal reports whether two bitsets have identical length and contents.
+func (b *Bitset) Equal(o *Bitset) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i, w := range b.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Xor replaces b with b XOR o. Both bitsets must have the same length.
+// Odd sketches combine by XOR: odd(S₁) ⊕ odd(S₂) = odd(S₁ Δ S₂).
+func (b *Bitset) Xor(o *Bitset) {
+	if b.n != o.n {
+		panic("bitset: length mismatch in Xor")
+	}
+	ones := uint64(0)
+	for i := range b.words {
+		b.words[i] ^= o.words[i]
+		ones += uint64(bits.OnesCount64(b.words[i]))
+	}
+	b.ones = ones
+}
+
+// XorCount returns the number of positions where b and o differ (the
+// popcount of b XOR o) without materialising the XOR. Both bitsets must have
+// the same length.
+func (b *Bitset) XorCount(o *Bitset) uint64 {
+	if b.n != o.n {
+		panic("bitset: length mismatch in XorCount")
+	}
+	ones := uint64(0)
+	for i := range b.words {
+		ones += uint64(bits.OnesCount64(b.words[i] ^ o.words[i]))
+	}
+	return ones
+}
+
+// check panics when i is out of range. The tail bits of the last word are
+// never addressable, so the ones count stays exact.
+func (b *Bitset) check(i uint64) {
+	if i >= b.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0, %d)", i, b.n))
+	}
+}
+
+// Serialization format: magic, length (bits), words. The ones count is
+// recomputed on load so a corrupted count cannot be smuggled in.
+const marshalMagic = uint32(0x0b175e70)
+
+// MarshalBinary encodes the bitset.
+func (b *Bitset) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 4+8+8*len(b.words))
+	binary.LittleEndian.PutUint32(out[0:], marshalMagic)
+	binary.LittleEndian.PutUint64(out[4:], b.n)
+	for i, w := range b.words {
+		binary.LittleEndian.PutUint64(out[12+8*i:], w)
+	}
+	return out, nil
+}
+
+// ErrCorrupt reports that a serialized bitset failed validation.
+var ErrCorrupt = errors.New("bitset: corrupt serialized data")
+
+// UnmarshalBinary decodes a bitset produced by MarshalBinary, validating the
+// header, the payload length, and that no bits beyond Len are set.
+func (b *Bitset) UnmarshalBinary(data []byte) error {
+	if len(data) < 12 {
+		return fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != marshalMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint64(data[4:])
+	if n == 0 {
+		return fmt.Errorf("%w: zero length", ErrCorrupt)
+	}
+	nWords := int((n + 63) / 64)
+	if len(data) != 12+8*nWords {
+		return fmt.Errorf("%w: payload is %d bytes, want %d", ErrCorrupt, len(data), 12+8*nWords)
+	}
+	words := make([]uint64, nWords)
+	ones := uint64(0)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(data[12+8*i:])
+		ones += uint64(bits.OnesCount64(words[i]))
+	}
+	if tail := n & 63; tail != 0 {
+		if words[nWords-1]&^((uint64(1)<<tail)-1) != 0 {
+			return fmt.Errorf("%w: bits set beyond length %d", ErrCorrupt, n)
+		}
+	}
+	b.words, b.n, b.ones = words, n, ones
+	return nil
+}

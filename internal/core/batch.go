@@ -1,0 +1,65 @@
+package core
+
+import (
+	"github.com/vossketch/vos/internal/bitset"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// Batch queries: a similarity search evaluates one user against many
+// candidates. Query recovers both users' virtual sketches per call, so u's
+// k array positions would be rehashed |candidates| times; QueryMany
+// recovers u once into a dense snapshot and reuses it, halving hash work
+// and improving locality. Results are identical to per-pair Query calls.
+
+// Recovered is a dense snapshot of one user's virtual odd sketch, reusable
+// across queries against a fixed sketch state. It is invalidated by any
+// subsequent Process call (the shared array changes underneath it);
+// re-recover after updates.
+type Recovered struct {
+	user stream.User
+	bits *bitset.Bitset
+	card int64
+	beta float64
+}
+
+// User returns the user the snapshot belongs to.
+func (r *Recovered) User() stream.User { return r.user }
+
+// Recover snapshots user u's virtual odd sketch Ô_u (k bits) together
+// with the cardinality and array load at recovery time.
+func (v *VOS) Recover(u stream.User) *Recovered {
+	k := v.cfg.SketchBits
+	bits := bitset.New(uint64(k))
+	for j := 0; j < k; j++ {
+		if v.arr.Get(v.position(u, j)) {
+			bits.Set(uint64(j))
+		}
+	}
+	return &Recovered{user: u, bits: bits, card: v.card[u], beta: v.Beta()}
+}
+
+// QueryRecovered estimates the similarity between a recovered snapshot
+// and user w, equivalent to Query(r.User(), w) against the sketch state
+// at recovery time.
+func (v *VOS) QueryRecovered(r *Recovered, w stream.User) Estimate {
+	k := v.cfg.SketchBits
+	z := 0
+	for j := 0; j < k; j++ {
+		if r.bits.Get(uint64(j)) != v.arr.Get(v.position(w, j)) {
+			z++
+		}
+	}
+	return v.estimateFrom(z, r.card, v.card[w], r.beta)
+}
+
+// QueryMany estimates u against every candidate in one pass, recovering u
+// once. The result order matches candidates; querying u against itself
+// yields the degenerate self estimate like Query does.
+func (v *VOS) QueryMany(u stream.User, candidates []stream.User) []Estimate {
+	r := v.Recover(u)
+	out := make([]Estimate, len(candidates))
+	for i, w := range candidates {
+		out[i] = v.QueryRecovered(r, w)
+	}
+	return out
+}

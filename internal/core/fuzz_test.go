@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// FuzzUnmarshalVOS throws arbitrary bytes at the sketch decoder: it must
+// never panic, and any sketch it accepts must re-marshal to a decodable
+// form with identical state.
+func FuzzUnmarshalVOS(f *testing.F) {
+	v := MustNew(Config{MemoryBits: 1024, SketchBits: 64, Seed: 3})
+	v.Process(edgeFor(1, 2, true))
+	v.Process(edgeFor(2, 3, true))
+	seed, _ := v.MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte("VOS1"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalVOS(data)
+		if err != nil {
+			return
+		}
+		re, err := got.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted sketch failed: %v", err)
+		}
+		again, err := UnmarshalVOS(re)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if again.Config() != got.Config() || again.Stats() != got.Stats() {
+			t.Fatal("round trip changed sketch state")
+		}
+	})
+}
+
+// edgeFor is a fuzz-test helper building one edge.
+func edgeFor(u, i uint64, insert bool) stream.Edge {
+	op := stream.Insert
+	if !insert {
+		op = stream.Delete
+	}
+	return stream.Edge{User: stream.User(u), Item: stream.Item(i), Op: op}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// Serialization lets a sketch built by a streaming worker be shipped to a
+// query server or checkpointed. Format: magic, config, cardinality table
+// (sorted by user for determinism), then the bit array.
+
+var vosMagic = [4]byte{'V', 'O', 'S', '1'}
+
+// ErrCorrupt reports an invalid serialized sketch.
+var ErrCorrupt = errors.New("core: corrupt serialized sketch")
+
+// MarshalBinary encodes the full sketch state.
+func (v *VOS) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(vosMagic[:])
+
+	var scratch [8]byte
+	writeU64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], x)
+		buf.Write(scratch[:])
+	}
+	writeU64(v.cfg.MemoryBits)
+	writeU64(uint64(v.cfg.SketchBits))
+	writeU64(v.cfg.Seed)
+
+	users := make([]stream.User, 0, len(v.card))
+	for u, c := range v.card {
+		if c != 0 {
+			users = append(users, u)
+		}
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	writeU64(uint64(len(users)))
+	for _, u := range users {
+		writeU64(uint64(u))
+		writeU64(uint64(v.card[u]))
+	}
+
+	arr, err := v.arr.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	writeU64(uint64(len(arr)))
+	buf.Write(arr)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalVOS decodes a sketch produced by MarshalBinary.
+func UnmarshalVOS(data []byte) (*VOS, error) {
+	if len(data) < 4+3*8 {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if !bytes.Equal(data[:4], vosMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	off := 4
+	readU64 := func() (uint64, error) {
+		if off+8 > len(data) {
+			return 0, fmt.Errorf("%w: truncated at offset %d", ErrCorrupt, off)
+		}
+		x := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		return x, nil
+	}
+	mem, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	kBits, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	seed, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{MemoryBits: mem, SketchBits: int(kBits), Seed: seed}
+	v, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	nUsers, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	if nUsers > uint64(len(data))/16+1 {
+		return nil, fmt.Errorf("%w: implausible user count %d", ErrCorrupt, nUsers)
+	}
+	for i := uint64(0); i < nUsers; i++ {
+		u, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		c, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		v.card[stream.User(u)] = int64(c)
+	}
+
+	arrLen, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(data)-off) != arrLen {
+		return nil, fmt.Errorf("%w: array payload %d bytes, header says %d", ErrCorrupt, len(data)-off, arrLen)
+	}
+	if err := v.arr.UnmarshalBinary(data[off:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if v.arr.Len() != cfg.MemoryBits {
+		return nil, fmt.Errorf("%w: array length %d != config m %d", ErrCorrupt, v.arr.Len(), cfg.MemoryBits)
+	}
+	return v, nil
+}

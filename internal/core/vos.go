@@ -1,0 +1,355 @@
+// Package core implements VOS (virtual odd sketch), the paper's primary
+// contribution: a similarity sketch for fully dynamic bipartite graph
+// streams with O(1) per-edge processing and O(k) per-pair queries.
+//
+// State (paper §IV):
+//
+//   - a shared bit array A of m bits,
+//   - an item hash ψ : I → {1..k} selecting which of the k virtual odd
+//     sketch slots an item toggles,
+//   - k user hashes f_1 … f_k : U → {1..m} placing each user's k virtual
+//     slots in A,
+//   - a per-user cardinality counter n_u,
+//   - β, the fraction of 1-bits in A (maintained O(1) by the bitset).
+//
+// Processing an element (u, i, ±) flips the single bit A[f_ψ(i)(u)] and
+// adjusts n_u — insertion and deletion are the same XOR toggle, which is
+// why VOS, unlike MinHash/OPH, has no deletion bias.
+//
+// Queries recover the two users' virtual odd sketches from A, observe the
+// fraction α of differing bits, correct for the contamination β caused by
+// sharing the array, and invert the odd sketch estimator to obtain the
+// symmetric difference, the common-item count, and the Jaccard coefficient.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/vossketch/vos/internal/bitset"
+	"github.com/vossketch/vos/internal/hashing"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// Config parameterises a VOS sketch.
+type Config struct {
+	// MemoryBits is m, the length of the shared bit array A.
+	MemoryBits uint64
+	// SketchBits is k, the virtual odd sketch size per user. The paper
+	// sets it λ times the per-user bit budget of the 32-bit-register
+	// baselines (λ = 2 in §V): k = λ·32·k_registers.
+	SketchBits int
+	// Seed makes the sketch reproducible; two sketches are mergeable and
+	// comparable only when built from identical Config values.
+	Seed uint64
+}
+
+// PaperConfig builds the §V memory-equalised configuration: baselines give
+// each of numUsers users k32 registers of 32 bits, so m = 32·k32·numUsers,
+// and VOS uses a virtual sketch of k = λ·32·k32 bits.
+func PaperConfig(numUsers int, k32 int, lambda int, seed uint64) Config {
+	return Config{
+		MemoryBits: 32 * uint64(k32) * uint64(numUsers),
+		SketchBits: lambda * 32 * k32,
+		Seed:       seed,
+	}
+}
+
+func (c Config) validate() error {
+	if c.MemoryBits == 0 {
+		return fmt.Errorf("core: MemoryBits must be positive")
+	}
+	if c.SketchBits <= 0 {
+		return fmt.Errorf("core: SketchBits must be positive")
+	}
+	if uint64(c.SketchBits) > c.MemoryBits {
+		return fmt.Errorf("core: virtual sketch (%d bits) larger than the shared array (%d bits)",
+			c.SketchBits, c.MemoryBits)
+	}
+	return nil
+}
+
+// VOS is the sketch. It is not safe for concurrent use; wrap with a mutex
+// or shard by stream partition and Merge (see Merge).
+type VOS struct {
+	cfg   Config
+	arr   *bitset.Bitset
+	slots *hashing.Family // f_1 … f_k, one member per virtual slot
+	card  map[stream.User]int64
+}
+
+// New creates an empty VOS sketch. It returns an error for degenerate
+// configurations.
+func New(cfg Config) (*VOS, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &VOS{
+		cfg:   cfg,
+		arr:   bitset.New(cfg.MemoryBits),
+		slots: hashing.NewFamily(cfg.SketchBits, cfg.Seed),
+		card:  make(map[stream.User]int64),
+	}, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(cfg Config) *VOS {
+	v, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Config returns the sketch configuration.
+func (v *VOS) Config() Config { return v.cfg }
+
+// K returns the virtual sketch size k.
+func (v *VOS) K() int { return v.cfg.SketchBits }
+
+// MemoryBits returns m.
+func (v *VOS) MemoryBits() uint64 { return v.cfg.MemoryBits }
+
+// slot returns ψ(item) ∈ [0, k).
+func (v *VOS) slot(i stream.Item) int {
+	return int(hashing.HashToRange(uint64(i), v.cfg.Seed^0x5f4dcc3b5aa765d6, uint64(v.cfg.SketchBits)))
+}
+
+// position returns f_j(u) ∈ [0, m).
+func (v *VOS) position(u stream.User, j int) uint64 {
+	return v.slots.HashRange(j, uint64(u), v.cfg.MemoryBits)
+}
+
+// Process folds one stream element into the sketch in O(1): one hash for
+// ψ, one for f_j, one bit flip, one counter update.
+func (v *VOS) Process(e stream.Edge) {
+	j := v.slot(e.Item)
+	v.arr.Flip(v.position(e.User, j))
+	if e.Op == stream.Insert {
+		v.card[e.User]++
+	} else if v.card[e.User]--; v.card[e.User] == 0 {
+		// A user whose subscriptions all cancelled out holds no sketch
+		// state at all; dropping the counter entry keeps memory
+		// proportional to active users on long-running streams.
+		delete(v.card, e.User)
+	}
+}
+
+// Cardinality returns n_u, the tracked number of items user u currently
+// subscribes to. For feasible streams this is exact.
+func (v *VOS) Cardinality(u stream.User) int64 { return v.card[u] }
+
+// Beta returns β, the current fraction of 1-bits in the shared array.
+func (v *VOS) Beta() float64 { return v.arr.OnesFraction() }
+
+// Users returns the number of users with a nonzero cardinality counter.
+func (v *VOS) Users() int {
+	n := 0
+	for _, c := range v.card {
+		if c != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// RecoverBit returns Ô_u[j] = A[f_j(u)], the rebuilt bit j of user u's
+// virtual odd sketch.
+func (v *VOS) RecoverBit(u stream.User, j int) bool {
+	return v.arr.Get(v.position(u, j))
+}
+
+// xorOnes counts the slots where the two users' recovered sketches differ.
+func (v *VOS) xorOnes(u, w stream.User) int {
+	z := 0
+	for j := 0; j < v.cfg.SketchBits; j++ {
+		if v.arr.GetBit(v.position(u, j)) != v.arr.GetBit(v.position(w, j)) {
+			z++
+		}
+	}
+	return z
+}
+
+// Estimate bundles every quantity a similarity query produces, so callers
+// can inspect the intermediate values (α, β) the paper's formulas use.
+type Estimate struct {
+	// Common is ŝ_uv, the estimated number of common items (paper eq. for
+	// ŝ; may be negative or exceed min(n_u, n_v) in the tails — see
+	// CommonClamped).
+	Common float64
+	// CommonClamped is Common restricted to the feasible range
+	// [0, min(n_u, n_v)], the value the Jaccard estimate is derived from.
+	CommonClamped float64
+	// Jaccard is Ĵ = ŝ/(n_u + n_v − ŝ) using the clamped ŝ, in [0, 1].
+	Jaccard float64
+	// SymmetricDifference is n̂Δ.
+	SymmetricDifference float64
+	// Alpha is the observed fraction of differing recovered bits.
+	Alpha float64
+	// Beta is the array load at query time.
+	Beta float64
+	// CardinalityU and CardinalityV are the tracked n_u, n_v.
+	CardinalityU, CardinalityV int64
+	// Saturated reports that α or β was clamped away from 1/2, i.e. the
+	// sketch is overloaded for this pair and the estimate is a floor.
+	Saturated bool
+}
+
+// Query estimates the similarity of users u and w in O(k).
+func (v *VOS) Query(u, w stream.User) Estimate {
+	return v.estimateFrom(v.xorOnes(u, w), v.card[u], v.card[w], v.Beta())
+}
+
+// estimateFrom computes the full Estimate from the differing-slot count z,
+// the two cardinalities, and the array load — the §IV estimator chain
+// shared by Query and the batch path.
+func (v *VOS) estimateFrom(z int, nu, nv int64, beta float64) Estimate {
+	k := float64(v.cfg.SketchBits)
+	alpha := float64(z) / k
+
+	// |1−2α| and |1−2β| enter logarithms; clamp them a half-step above
+	// zero (the resolution of the underlying counts) so estimates stay
+	// finite. The paper's ŝ expression already takes absolute values.
+	saturated := false
+	absA := math.Abs(1 - 2*alpha)
+	if absA < 1/(2*k) {
+		absA = 1 / (2 * k)
+		saturated = true
+	}
+	absB := math.Abs(1 - 2*beta)
+	if absB < 1/(2*float64(v.cfg.MemoryBits)) {
+		absB = 1 / (2 * float64(v.cfg.MemoryBits))
+		saturated = true
+	}
+
+	// n̂Δ = −k·(ln(1−2α) − 2·ln(1−2β)) / 2
+	nDelta := -k * (math.Log(absA) - 2*math.Log(absB)) / 2
+	if nDelta < 0 {
+		nDelta = 0
+	}
+	// ŝ = (n_u+n_v)/2 + k·(ln|1−2α| − 2·ln|1−2β|)/4
+	common := float64(nu+nv)/2 + k*(math.Log(absA)-2*math.Log(absB))/4
+
+	clamped := common
+	maxCommon := float64(nu)
+	if nv < nu {
+		maxCommon = float64(nv)
+	}
+	if clamped < 0 {
+		clamped = 0
+	}
+	if clamped > maxCommon {
+		clamped = maxCommon
+	}
+	jac := 0.0
+	if union := float64(nu+nv) - clamped; union > 0 {
+		jac = clamped / union
+	}
+	if jac < 0 {
+		jac = 0
+	} else if jac > 1 {
+		jac = 1
+	}
+
+	return Estimate{
+		Common:              common,
+		CommonClamped:       clamped,
+		Jaccard:             jac,
+		SymmetricDifference: nDelta,
+		Alpha:               alpha,
+		Beta:                beta,
+		CardinalityU:        nu,
+		CardinalityV:        nv,
+		Saturated:           saturated,
+	}
+}
+
+// EstimateCommonItems returns ŝ_uv (unclamped, the paper's estimator).
+func (v *VOS) EstimateCommonItems(u, w stream.User) float64 {
+	return v.Query(u, w).Common
+}
+
+// EstimateJaccard returns Ĵ(S_u, S_w) in [0, 1].
+func (v *VOS) EstimateJaccard(u, w stream.User) float64 {
+	return v.Query(u, w).Jaccard
+}
+
+// EstimateSymmetricDifference returns n̂Δ = |S_u Δ S_w| estimated.
+func (v *VOS) EstimateSymmetricDifference(u, w stream.User) float64 {
+	return v.Query(u, w).SymmetricDifference
+}
+
+// Merge folds other into v. Merging is exact for any partition of a stream
+// across sketches with identical configurations: the shared arrays XOR
+// (parities add mod 2) and the cardinality counters add. After Merge, v
+// equals the sketch of the concatenated streams.
+func (v *VOS) Merge(other *VOS) error {
+	if v.cfg != other.cfg {
+		return fmt.Errorf("core: cannot merge sketches with different configs (%+v vs %+v)",
+			v.cfg, other.cfg)
+	}
+	v.arr.Xor(other.arr)
+	for u, c := range other.card {
+		v.card[u] += c
+		if v.card[u] == 0 {
+			delete(v.card, u)
+		}
+	}
+	return nil
+}
+
+// BiasApprox returns the analytic approximation of E[ŝ] − s at symmetric
+// difference nDelta under the current array load β.
+//
+// Derivation note: the arXiv text prints E(ŝ) ≈ s + 1/8 − k·β·e^{2nΔ/k}/
+// (1−2β)² − e^{4nΔ/k}/(8(1−2β)⁴), whose middle term grows with k·β and
+// contradicts the paper's own experiments (it would put the bias in the
+// hundreds for §V's parameters). Re-deriving via the delta method on
+// α ~ Binomial(k, p)/k with 1−2p = (1−2β)²e^{−2nΔ/k} gives
+//
+//	E[ŝ] − s ≈ 1/8 − e^{4nΔ/k} / (8·(1−2β)⁴),
+//
+// which coincides with the printed expression at β = 0 and matches Monte
+// Carlo simulation (see TestBiasApproxMatchesSimulation). We implement the
+// re-derived form.
+func (v *VOS) BiasApprox(nDelta float64) float64 {
+	k := float64(v.cfg.SketchBits)
+	c := 1 - 2*v.Beta()
+	return 1.0/8 - math.Exp(4*nDelta/k)/(8*c*c*c*c)
+}
+
+// VarianceApprox returns the analytic approximation of Var[ŝ] at symmetric
+// difference nDelta under the current array load β:
+//
+//	Var[ŝ] ≈ −k/16 + k·e^{4nΔ/k} / (16·(1−2β)⁴),
+//
+// again the delta-method form (see BiasApprox for why the printed variant's
+// extra k²β term is not implemented); at β = 0 it reduces to the odd sketch
+// variance k·(e^{4nΔ/k} − 1)/16 of Mitzenmacher et al.
+func (v *VOS) VarianceApprox(nDelta float64) float64 {
+	k := float64(v.cfg.SketchBits)
+	c := 1 - 2*v.Beta()
+	return -k/16 + k*math.Exp(4*nDelta/k)/(16*c*c*c*c)
+}
+
+// Stats summarises sketch state for diagnostics.
+type Stats struct {
+	MemoryBits  uint64
+	SketchBits  int
+	OnesCount   uint64
+	Beta        float64
+	Users       int
+	MemoryBytes uint64
+}
+
+// Stats returns a snapshot of the sketch's state.
+func (v *VOS) Stats() Stats {
+	return Stats{
+		MemoryBits:  v.cfg.MemoryBits,
+		SketchBits:  v.cfg.SketchBits,
+		OnesCount:   v.arr.Count(),
+		Beta:        v.Beta(),
+		Users:       v.Users(),
+		MemoryBytes: (v.cfg.MemoryBits+7)/8 + uint64(len(v.card))*16,
+	}
+}

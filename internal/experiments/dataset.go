@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/vossketch/vos/internal/exact"
+	"github.com/vossketch/vos/internal/gen"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// Options hold the tunable knobs shared by the experiment runners. Zero
+// value means "use Defaults()".
+type Options struct {
+	// Scale shrinks the paper-scale dataset profiles for laptop runs
+	// (see DESIGN.md §4). 0.01 reproduces the relative shapes at ~1% of
+	// the node counts.
+	Scale float64
+	// Seed drives workload generation; every run with the same Options
+	// is bit-identical.
+	Seed int64
+	// K32 is the register count per user for the baselines (paper: 100).
+	K32 int
+	// Lambda is the VOS multiplier (paper: 2).
+	Lambda int
+	// TopUsers is how many highest-cardinality users seed the tracked
+	// pairs (paper: 5,000 at full scale; scaled default 100).
+	TopUsers int
+	// MinCommon is the common-item threshold for tracked pairs
+	// (paper: 1).
+	MinCommon int
+	// MaxPairs caps the tracked pair count to bound harness cost.
+	MaxPairs int
+	// Checkpoints is the number of evenly spaced measurement points for
+	// the over-time panels.
+	Checkpoints int
+	// Dataset selects the profile for the single-dataset experiments
+	// (fig3a/fig3c time series and the ablations). Default "YouTube",
+	// matching the paper's Figure 2(a)/3(a)/3(c).
+	Dataset string
+	// RuntimeUsers and RuntimeEdges shape the dedicated runtime
+	// workload of Figure 2 (see Fig2 docs).
+	RuntimeUsers uint64
+	RuntimeEdges uint64
+	// RuntimeKs is the k sweep of Figure 2(a) and the single k of 2(b)
+	// (its last element).
+	RuntimeKs []int
+}
+
+// Defaults returns the laptop-scale configuration used throughout
+// EXPERIMENTS.md.
+func Defaults() Options {
+	return Options{
+		Scale:        0.01,
+		Seed:         2,
+		K32:          100,
+		Lambda:       2,
+		TopUsers:     100,
+		MinCommon:    1,
+		MaxPairs:     500,
+		Checkpoints:  12,
+		Dataset:      "YouTube",
+		RuntimeUsers: 1000,
+		RuntimeEdges: 100_000,
+		RuntimeKs:    []int{1, 10, 100, 1000, 10_000},
+	}
+}
+
+// normalized fills zero fields from Defaults.
+func (o Options) normalized() Options {
+	d := Defaults()
+	if o.Scale == 0 {
+		o.Scale = d.Scale
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.K32 == 0 {
+		o.K32 = d.K32
+	}
+	if o.Lambda == 0 {
+		o.Lambda = d.Lambda
+	}
+	if o.TopUsers == 0 {
+		o.TopUsers = d.TopUsers
+	}
+	if o.MinCommon == 0 {
+		o.MinCommon = d.MinCommon
+	}
+	if o.MaxPairs == 0 {
+		o.MaxPairs = d.MaxPairs
+	}
+	if o.Checkpoints == 0 {
+		o.Checkpoints = d.Checkpoints
+	}
+	if o.Dataset == "" {
+		o.Dataset = d.Dataset
+	}
+	if o.RuntimeUsers == 0 {
+		o.RuntimeUsers = d.RuntimeUsers
+	}
+	if o.RuntimeEdges == 0 {
+		o.RuntimeEdges = d.RuntimeEdges
+	}
+	if len(o.RuntimeKs) == 0 {
+		o.RuntimeKs = d.RuntimeKs
+	}
+	return o
+}
+
+// Dataset is a fully dynamic workload ready for the runners.
+type Dataset struct {
+	// Profile is the scaled profile the stream was generated from.
+	Profile gen.Profile
+	// Edges is the dynamized stream (§V model: mass deletions with
+	// d = 0.5, event rate scaled per gen.PaperDynamize).
+	Edges []stream.Edge
+	// Deletes counts deletion elements, for reporting.
+	Deletes int
+}
+
+// BuildDataset generates the dynamized stream for a profile under the
+// options' scale and seed.
+func BuildDataset(p gen.Profile, opts Options) Dataset {
+	opts = opts.normalized()
+	scaled := p.Scaled(opts.Scale)
+	base := gen.Bipartite(scaled, opts.Seed)
+	cfg := gen.PaperDynamize(len(base), opts.Seed+1)
+	edges := gen.Dynamize(base, cfg)
+	deletes := 0
+	for _, e := range edges {
+		if e.Op == stream.Delete {
+			deletes++
+		}
+	}
+	return Dataset{Profile: scaled, Edges: edges, Deletes: deletes}
+}
+
+// TrackedPairs selects the pairs the accuracy experiments follow, using
+// the paper's rule: among the TopUsers highest-cardinality users at end of
+// stream, every pair sharing at least MinCommon items, capped at MaxPairs.
+// It also reports the median true common-item count of the selection, for
+// the table notes.
+func TrackedPairs(ds Dataset, opts Options) ([]exact.Pair, int, error) {
+	opts = opts.normalized()
+	store := exact.NewStore()
+	for _, e := range ds.Edges {
+		if err := store.Apply(e); err != nil {
+			return nil, 0, fmt.Errorf("experiments: workload infeasible: %w", err)
+		}
+	}
+	top := store.TopUsers(opts.TopUsers)
+	pairs := store.PairsWithCommonItems(top, opts.MinCommon, opts.MaxPairs)
+	if len(pairs) == 0 {
+		return nil, 0, fmt.Errorf("experiments: no pair among top %d users shares ≥ %d items",
+			opts.TopUsers, opts.MinCommon)
+	}
+	commons := make([]int, len(pairs))
+	for i, p := range pairs {
+		commons[i] = store.CommonItems(p.U, p.V)
+	}
+	return pairs, medianInt(commons), nil
+}
+
+func medianInt(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	// Selection by copy+sort is fine at harness sizes.
+	cp := append([]int(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+// profile resolves the options' Dataset name, panicking on unknown names
+// (the CLI validates user input before reaching here).
+func (o Options) profile() gen.Profile {
+	p, err := gen.ProfileByName(o.Dataset)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/vossketch/vos/internal/gen"
+	"github.com/vossketch/vos/internal/similarity"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// tinyOptions shrink every knob so the full pipeline runs in well under a
+// second; integration coverage, not statistical power.
+func tinyOptions() Options {
+	return Options{
+		Scale:        0.002,
+		Seed:         3,
+		K32:          50,
+		Lambda:       2,
+		TopUsers:     30,
+		MinCommon:    1,
+		MaxPairs:     60,
+		Checkpoints:  4,
+		RuntimeUsers: 50,
+		RuntimeEdges: 2000,
+		RuntimeKs:    []int{1, 16},
+	}
+}
+
+func TestBuildDataset(t *testing.T) {
+	ds := BuildDataset(gen.YouTube, tinyOptions())
+	if len(ds.Edges) == 0 {
+		t.Fatal("empty dataset")
+	}
+	if err := stream.Validate(ds.Edges); err != nil {
+		t.Fatalf("dataset infeasible: %v", err)
+	}
+	if ds.Profile.Name != "YouTube" {
+		t.Errorf("profile name %q", ds.Profile.Name)
+	}
+}
+
+func TestBuildDatasetDeterministic(t *testing.T) {
+	a := BuildDataset(gen.YouTube, tinyOptions())
+	b := BuildDataset(gen.YouTube, tinyOptions())
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("dataset not deterministic")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestTrackedPairs(t *testing.T) {
+	opts := tinyOptions()
+	ds := BuildDataset(gen.YouTube, opts)
+	pairs, median, err := TrackedPairs(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 || len(pairs) > opts.MaxPairs {
+		t.Fatalf("%d pairs", len(pairs))
+	}
+	if median < 1 {
+		t.Errorf("median common %d, want >= 1", median)
+	}
+}
+
+func TestFig2aShape(t *testing.T) {
+	opts := tinyOptions()
+	tbl, err := Fig2a(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(opts.RuntimeKs) * len(similarity.Methods)
+	if len(tbl.Rows) != wantRows {
+		t.Fatalf("%d rows, want %d", len(tbl.Rows), wantRows)
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig2a") {
+		t.Error("render missing ID")
+	}
+}
+
+func TestFig2bShape(t *testing.T) {
+	tbl, err := Fig2b(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4*len(similarity.Methods) {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+}
+
+func TestRunAccuracyProducesAllSeries(t *testing.T) {
+	opts := tinyOptions()
+	r, err := RunAccuracy(gen.YouTube, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range similarity.Methods {
+		s := r.AAPE.Get(m)
+		if s == nil || len(s.Points) < opts.Checkpoints {
+			t.Fatalf("%s AAPE series incomplete", m)
+		}
+		if r.ARMSE.Get(m) == nil {
+			t.Fatalf("%s ARMSE series missing", m)
+		}
+		for _, p := range s.Points {
+			if p.Value < 0 {
+				t.Errorf("%s negative AAPE %v", m, p.Value)
+			}
+		}
+	}
+	// ARMSE is bounded by 1 (both Ĵ and J live in [0, 1]).
+	for _, m := range similarity.Methods {
+		for _, p := range r.ARMSE.Get(m).Points {
+			if p.Value < 0 || p.Value > 1 {
+				t.Errorf("%s ARMSE %v out of [0, 1]", m, p.Value)
+			}
+		}
+	}
+}
+
+func TestFig3TimeSeriesTables(t *testing.T) {
+	aape, armse, err := Fig3TimeSeries(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aape.ID != "fig3a" || armse.ID != "fig3c" {
+		t.Errorf("ids %s/%s", aape.ID, armse.ID)
+	}
+	if len(aape.Rows) == 0 || len(aape.Rows) != len(armse.Rows) {
+		t.Errorf("row counts %d/%d", len(aape.Rows), len(armse.Rows))
+	}
+	if len(aape.Header) != 1+len(similarity.Methods) {
+		t.Errorf("header %v", aape.Header)
+	}
+}
+
+func TestAblationTables(t *testing.T) {
+	opts := tinyOptions()
+	for name, run := range map[string]func(Options) (*Table, error){
+		"abl-lambda": AblLambda,
+		"abl-load":   AblLoad,
+		"abl-dense": func(o Options) (*Table, error) {
+			return AblDense(o)
+		},
+		"abl-delbias": AblDelBias,
+	} {
+		tbl, err := run(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s: empty table", name)
+		}
+		if tbl.ID != name {
+			t.Errorf("%s: id %q", name, tbl.ID)
+		}
+	}
+}
+
+func TestComparePairs(t *testing.T) {
+	opts := tinyOptions()
+	ds := BuildDataset(gen.YouTube, opts)
+	pairs, _, err := TrackedPairs(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := ComparePairs(ds, pairs[:5], similarity.MethodVOS, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 5 {
+		t.Fatalf("%d reports", len(reports))
+	}
+	for _, r := range reports {
+		if r.TrueS < 0 || r.TrueJ < 0 || r.TrueJ > 1 {
+			t.Errorf("implausible truth in %+v", r)
+		}
+	}
+	if _, err := ComparePairs(ds, pairs, "bogus", opts); err == nil {
+		t.Error("bogus method accepted")
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tbl := &Table{
+		ID:     "x",
+		Title:  "T",
+		Header: []string{"a", "b"},
+	}
+	tbl.AddNote("note %d", 1)
+	tbl.AddRow("1", "with,comma")
+	var buf bytes.Buffer
+	if err := tbl.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# note 1") || !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("csv output: %q", out)
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	var zero Options
+	n := zero.normalized()
+	d := Defaults()
+	if n.Scale != d.Scale || n.K32 != d.K32 || len(n.RuntimeKs) != len(d.RuntimeKs) {
+		t.Errorf("normalized zero != defaults: %+v", n)
+	}
+	// Non-zero fields survive.
+	custom := Options{K32: 7}.normalized()
+	if custom.K32 != 7 {
+		t.Error("normalization clobbered explicit field")
+	}
+}
+
+func TestMedianInt(t *testing.T) {
+	if medianInt(nil) != 0 {
+		t.Error("empty median")
+	}
+	if got := medianInt([]int{5, 1, 9}); got != 5 {
+		t.Errorf("median = %d", got)
+	}
+	if got := medianInt([]int{4, 1, 3, 2}); got != 3 {
+		t.Errorf("even median = %d", got)
+	}
+}
+
+func TestCompareTable(t *testing.T) {
+	tbl, err := Compare(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "compare" {
+		t.Errorf("id %q", tbl.ID)
+	}
+	if len(tbl.Rows) != len(similarity.Methods) {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	// Quantile columns must be non-decreasing left to right (p50 ≤ p90 ≤
+	// p99 ≤ max) for every method.
+	for _, row := range tbl.Rows {
+		var prev float64
+		for col := 2; col < len(row); col++ {
+			var v float64
+			if _, err := fmt.Sscanf(row[col], "%f", &v); err != nil {
+				t.Fatalf("cell %q not numeric", row[col])
+			}
+			if v < prev {
+				t.Errorf("%s: quantiles not monotone: %v", row[0], row)
+				break
+			}
+			prev = v
+		}
+	}
+}
+
+func TestDatasetOptionSelectsProfile(t *testing.T) {
+	opts := tinyOptions()
+	opts.Dataset = "Flickr"
+	ds := BuildDataset(opts.profile(), opts)
+	if ds.Profile.Name != "Flickr" {
+		t.Errorf("profile %q", ds.Profile.Name)
+	}
+	opts.Dataset = "bogus"
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown dataset should panic in profile()")
+		}
+	}()
+	opts.profile()
+}

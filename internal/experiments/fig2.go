@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/vossketch/vos/internal/core"
+	"github.com/vossketch/vos/internal/gen"
+	"github.com/vossketch/vos/internal/minhash"
+	"github.com/vossketch/vos/internal/oph"
+	"github.com/vossketch/vos/internal/rp"
+	"github.com/vossketch/vos/internal/similarity"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// Figure 2 measures sketch update runtime: panel (a) sweeps the register
+// count k on the YouTube workload, panel (b) fixes the largest k and runs
+// every dataset. The paper's claim under test is the complexity class —
+// VOS and OPH update in O(1) per element while MinHash and RP pay O(k) —
+// so the deliverable is the growth shape and the method ordering, not the
+// absolute seconds of the authors' testbed.
+//
+// Two laptop adaptations, both documented in EXPERIMENTS.md:
+//
+//   - The runtime workload fixes the user count (Options.RuntimeUsers) and
+//     stream length (RuntimeEdges) per profile shape, because a per-user
+//     O(k)-register layout at k = 10⁵ over the full scaled user set would
+//     need tens of GB. Update cost per element does not depend on the user
+//     count, so the measurement is unaffected.
+//   - VOS's shared array is capped at fig2MaxMemoryBits for the same
+//     reason; VOS update cost is independent of m (one hash, one flip).
+
+const fig2MaxMemoryBits = uint64(1) << 28 // 32 MiB array cap for the sweep
+
+// runtimeWorkload generates the Figure 2 stream for a profile: the
+// profile's shape (skews, average degree) at a fixed user count and
+// element budget.
+func runtimeWorkload(p gen.Profile, opts Options) []stream.Edge {
+	opts = opts.normalized()
+	rp := p
+	rp.Users = opts.RuntimeUsers
+	rp.Items = opts.RuntimeUsers * 4
+	rp.Edges = opts.RuntimeEdges
+	if rp.Edges > rp.Users*rp.Items {
+		rp.Edges = rp.Users * rp.Items
+	}
+	base := gen.Bipartite(rp, opts.Seed)
+	cfg := gen.PaperDynamize(len(base), opts.Seed+1)
+	return gen.Dynamize(base, cfg)
+}
+
+// updater is the minimal surface the runtime harness needs.
+type updater interface {
+	Process(e stream.Edge)
+}
+
+// buildForRuntime constructs one method at register count k for the
+// runtime workload, applying the memory caps described above.
+func buildForRuntime(method string, k int, users uint64, seed uint64) updater {
+	switch method {
+	case similarity.MethodVOS:
+		mem := 32 * uint64(k) * users
+		if mem > fig2MaxMemoryBits {
+			mem = fig2MaxMemoryBits
+		}
+		kv := 2 * 32 * k // λ = 2, irrelevant for update cost
+		if uint64(kv) > mem {
+			kv = int(mem)
+		}
+		return core.MustNew(core.Config{MemoryBits: mem, SketchBits: kv, Seed: seed})
+	case similarity.MethodMinHash:
+		return minhash.New(k, seed)
+	case similarity.MethodOPH:
+		return oph.New(k, seed)
+	case similarity.MethodRP:
+		return rp.New(k, seed)
+	default:
+		panic(fmt.Sprintf("experiments: unknown runtime method %q", method))
+	}
+}
+
+// MeasureUpdateTime processes the whole stream through the updater and
+// returns the wall-clock duration.
+func MeasureUpdateTime(u updater, edges []stream.Edge) time.Duration {
+	start := time.Now()
+	for _, e := range edges {
+		u.Process(e)
+	}
+	return time.Since(start)
+}
+
+// Fig2a regenerates Figure 2(a): update runtime on the YouTube workload
+// as k sweeps over Options.RuntimeKs, for all four methods.
+func Fig2a(opts Options) (*Table, error) {
+	opts = opts.normalized()
+	edges := runtimeWorkload(opts.profile(), opts)
+
+	t := &Table{
+		ID:     "fig2a",
+		Title:  fmt.Sprintf("Runtime vs sketch size k (%s workload)", opts.Dataset),
+		Header: []string{"k", "method", "seconds", "ns/edge"},
+	}
+	t.AddNote("workload: %s shape, %d users, %d elements, seed %d",
+		opts.Dataset, opts.RuntimeUsers, len(edges), opts.Seed)
+	t.AddNote("expected shape: VOS and OPH flat in k (O(1)); MinHash and RP linear in k (O(k))")
+
+	for _, k := range opts.RuntimeKs {
+		for _, method := range similarity.Methods {
+			u := buildForRuntime(method, k, opts.RuntimeUsers, uint64(opts.Seed))
+			d := MeasureUpdateTime(u, edges)
+			t.AddRow(
+				fmt.Sprintf("%d", k),
+				method,
+				fmt.Sprintf("%.4f", d.Seconds()),
+				fmt.Sprintf("%.1f", float64(d.Nanoseconds())/float64(len(edges))),
+			)
+		}
+	}
+	return t, nil
+}
+
+// Fig2b regenerates Figure 2(b): update runtime at the largest swept k on
+// all four dataset workloads.
+func Fig2b(opts Options) (*Table, error) {
+	opts = opts.normalized()
+	k := opts.RuntimeKs[len(opts.RuntimeKs)-1]
+
+	t := &Table{
+		ID:     "fig2b",
+		Title:  fmt.Sprintf("Runtime at k = %d on all datasets", k),
+		Header: []string{"dataset", "method", "seconds", "ns/edge"},
+	}
+	t.AddNote("workload: each profile's shape, %d users, %d elements, seed %d",
+		opts.RuntimeUsers, opts.RuntimeEdges, opts.Seed)
+
+	for _, p := range gen.Profiles {
+		edges := runtimeWorkload(p, opts)
+		for _, method := range similarity.Methods {
+			u := buildForRuntime(method, k, opts.RuntimeUsers, uint64(opts.Seed))
+			d := MeasureUpdateTime(u, edges)
+			t.AddRow(
+				p.Name,
+				method,
+				fmt.Sprintf("%.4f", d.Seconds()),
+				fmt.Sprintf("%.1f", float64(d.Nanoseconds())/float64(len(edges))),
+			)
+		}
+	}
+	return t, nil
+}

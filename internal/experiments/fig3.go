@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/vossketch/vos/internal/exact"
+	"github.com/vossketch/vos/internal/gen"
+	"github.com/vossketch/vos/internal/metrics"
+	"github.com/vossketch/vos/internal/similarity"
+)
+
+// Figure 3 measures estimation accuracy under the paper's §V protocol:
+// all methods share the memory budget m = 32·K32·|U| bits (VOS with
+// λ = Lambda), the workload is the dynamized dataset stream, the tracked
+// pairs are those among the TopUsers highest-cardinality users sharing at
+// least MinCommon items, AAPE scores the common-item estimates ŝ and
+// ARMSE the Jaccard estimates Ĵ.
+//
+// Panels: (a) AAPE over time on YouTube, (b) final AAPE on all datasets,
+// (c) ARMSE over time on YouTube, (d) final ARMSE on all datasets.
+
+// AccuracyResult holds one dataset's accuracy trajectories for every
+// method, plus the workload provenance the tables report.
+type AccuracyResult struct {
+	Dataset      string
+	Elements     int
+	Deletes      int
+	Pairs        int
+	MedianCommon int
+	AAPE         *metrics.Collector // per-method series over stream time
+	ARMSE        *metrics.Collector
+}
+
+// RunAccuracy executes the §V accuracy protocol on one dataset profile.
+func RunAccuracy(p gen.Profile, opts Options) (*AccuracyResult, error) {
+	opts = opts.normalized()
+	ds := BuildDataset(p, opts)
+	pairs, median, err := TrackedPairs(ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	tracker, err := exact.NewPairTracker(pairs)
+	if err != nil {
+		return nil, err
+	}
+	budget := similarity.Budget{K32: opts.K32, Users: int(ds.Profile.Users), Lambda: opts.Lambda}
+	ests, err := similarity.NewAll(budget, uint64(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AccuracyResult{
+		Dataset:      ds.Profile.Name,
+		Elements:     len(ds.Edges),
+		Deletes:      ds.Deletes,
+		Pairs:        len(pairs),
+		MedianCommon: median,
+		AAPE:         metrics.NewCollector(),
+		ARMSE:        metrics.NewCollector(),
+	}
+
+	every := len(ds.Edges) / opts.Checkpoints
+	if every == 0 {
+		every = 1
+	}
+	truthS := make([]float64, len(pairs))
+	truthJ := make([]float64, len(pairs))
+	estS := make([]float64, len(pairs))
+	estJ := make([]float64, len(pairs))
+
+	for idx, e := range ds.Edges {
+		tracker.MustApply(e)
+		for _, est := range ests {
+			est.Process(e)
+		}
+		t := uint64(idx + 1)
+		if (idx+1)%every == 0 || idx == len(ds.Edges)-1 {
+			for i := range pairs {
+				truthS[i] = float64(tracker.CommonItems(i))
+				truthJ[i] = tracker.Jaccard(i)
+			}
+			for _, est := range ests {
+				for i, pr := range pairs {
+					estS[i] = est.EstimateCommonItems(pr.U, pr.V)
+					estJ[i] = est.EstimateJaccard(pr.U, pr.V)
+				}
+				res.AAPE.Record(est.Name(), t, metrics.AAPE(truthS, estS))
+				res.ARMSE.Record(est.Name(), t, metrics.ARMSE(truthJ, estJ))
+			}
+		}
+	}
+	return res, nil
+}
+
+func (r *AccuracyResult) annotate(t *Table, opts Options) {
+	t.AddNote("dataset %s: %d elements (%d deletions), %d tracked pairs (median s = %d)",
+		r.Dataset, r.Elements, r.Deletes, r.Pairs, r.MedianCommon)
+	t.AddNote("memory-equalised: m = 32·%d·|U| bits for every method; VOS λ = %d; seed %d",
+		opts.K32, opts.Lambda, opts.Seed)
+}
+
+// seriesTable renders one collector as a t-by-method table.
+func seriesTable(id, title, metric string, r *AccuracyResult, opts Options) *Table {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: append([]string{"t"}, similarity.Methods...),
+	}
+	r.annotate(t, opts)
+	series := make(map[string]*metrics.Series, len(similarity.Methods))
+	var nPoints int
+	for _, m := range similarity.Methods {
+		s := r.get(metric).Get(m)
+		series[m] = s
+		nPoints = len(s.Points)
+	}
+	for i := 0; i < nPoints; i++ {
+		row := []string{fmt.Sprintf("%d", series[similarity.Methods[0]].Points[i].T)}
+		for _, m := range similarity.Methods {
+			row = append(row, fmt.Sprintf("%.4f", series[m].Points[i].Value))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func (r *AccuracyResult) get(metric string) *metrics.Collector {
+	if metric == "AAPE" {
+		return r.AAPE
+	}
+	return r.ARMSE
+}
+
+// Fig3TimeSeries regenerates Figures 3(a) and 3(c): AAPE and ARMSE over
+// stream time on the YouTube dataset.
+func Fig3TimeSeries(opts Options) (aape, armse *Table, err error) {
+	opts = opts.normalized()
+	r, err := RunAccuracy(opts.profile(), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	aape = seriesTable("fig3a", fmt.Sprintf("AAPE of ŝ over time (%s, k = %d)", opts.Dataset, opts.K32),
+		"AAPE", r, opts)
+	armse = seriesTable("fig3c", fmt.Sprintf("ARMSE of Ĵ over time (%s, k = %d)", opts.Dataset, opts.K32),
+		"ARMSE", r, opts)
+	return aape, armse, nil
+}
+
+// Fig3Final regenerates Figures 3(b) and 3(d): final-time AAPE and ARMSE
+// on all four datasets.
+func Fig3Final(opts Options) (aape, armse *Table, err error) {
+	opts = opts.normalized()
+	aape = &Table{
+		ID:     "fig3b",
+		Title:  fmt.Sprintf("Final AAPE of ŝ on all datasets (k = %d)", opts.K32),
+		Header: append([]string{"dataset"}, similarity.Methods...),
+	}
+	armse = &Table{
+		ID:     "fig3d",
+		Title:  fmt.Sprintf("Final ARMSE of Ĵ on all datasets (k = %d)", opts.K32),
+		Header: append([]string{"dataset"}, similarity.Methods...),
+	}
+	for _, p := range gen.Profiles {
+		r, err := RunAccuracy(p, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		r.annotate(aape, opts)
+		r.annotate(armse, opts)
+		rowA := []string{p.Name}
+		rowR := []string{p.Name}
+		for _, m := range similarity.Methods {
+			rowA = append(rowA, fmt.Sprintf("%.4f", r.AAPE.Get(m).Last()))
+			rowR = append(rowR, fmt.Sprintf("%.4f", r.ARMSE.Get(m).Last()))
+		}
+		aape.AddRow(rowA...)
+		armse.AddRow(rowR...)
+	}
+	return aape, armse, nil
+}

@@ -1,0 +1,8 @@
+package gen
+
+import "math/rand"
+
+// randSource is a test helper returning a seeded *rand.Rand.
+func randSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,104 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vossketch/vos/internal/stream"
+)
+
+func TestLoadSNAP(t *testing.T) {
+	in := `# Directed graph: ./youtube-links.txt
+# Nodes: 5 Edges: 4
+1	10
+1	11
+2	10
+3	12
+`
+	edges, err := LoadSNAP(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 4 {
+		t.Fatalf("got %d edges", len(edges))
+	}
+	if edges[0] != (stream.Edge{User: 1, Item: 10, Op: stream.Insert}) {
+		t.Errorf("first edge %v", edges[0])
+	}
+	if err := stream.Validate(edges); err != nil {
+		t.Errorf("snap load infeasible: %v", err)
+	}
+}
+
+func TestLoadSNAPDropsDuplicates(t *testing.T) {
+	in := "1 10\n1 10\n1 11\n"
+	edges, err := LoadSNAP(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 2 {
+		t.Errorf("duplicates kept: %d edges", len(edges))
+	}
+}
+
+func TestLoadSNAPSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# c\n% matrix-market style\n\n 7 8 \n"
+	edges, err := LoadSNAP(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 1 || edges[0].User != 7 {
+		t.Errorf("edges = %v", edges)
+	}
+}
+
+func TestLoadSNAPErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"one field": "42\n",
+		"bad user":  "x 1\n",
+		"bad item":  "1 y\n",
+	} {
+		if _, err := LoadSNAP(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestLoadSNAPExtraColumnsTolerated(t *testing.T) {
+	// Some SNAP exports carry a weight/timestamp third column.
+	edges, err := LoadSNAP(strings.NewReader("1 2 1679000000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 1 {
+		t.Errorf("edges = %v", edges)
+	}
+}
+
+func TestShuffleDeterministicPermutation(t *testing.T) {
+	base := []stream.Edge{
+		{User: 1, Item: 1, Op: stream.Insert},
+		{User: 2, Item: 2, Op: stream.Insert},
+		{User: 3, Item: 3, Op: stream.Insert},
+		{User: 4, Item: 4, Op: stream.Insert},
+	}
+	a := Shuffle(base, 5)
+	b := Shuffle(base, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different shuffle")
+		}
+	}
+	// Original slice untouched.
+	if base[0].User != 1 || base[3].User != 4 {
+		t.Error("Shuffle mutated its input")
+	}
+	// Content preserved.
+	seen := map[stream.User]bool{}
+	for _, e := range a {
+		seen[e.User] = true
+	}
+	if len(seen) != 4 {
+		t.Error("shuffle lost elements")
+	}
+}

@@ -1,0 +1,280 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	s1, s2 := uint64(42), uint64(42)
+	for i := 0; i < 100; i++ {
+		a, b := SplitMix64(&s1), SplitMix64(&s2)
+		if a != b {
+			t.Fatalf("step %d: identical states diverged: %x vs %x", i, a, b)
+		}
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference outputs of splitmix64 seeded with 1234567 (from the public
+	// domain reference implementation by Sebastiano Vigna).
+	state := uint64(1234567)
+	want := []uint64{
+		0x599ed017fb08fc85,
+		0x2c73f08458540fa5,
+		0x883ebce5a3f27c77,
+		0x3fbef740e9177b3f,
+		0xe3b8346708cb5ecd,
+	}
+	for i, w := range want {
+		if got := SplitMix64(&state); got != w {
+			t.Errorf("output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// A bijection restricted to a small sample must have no collisions.
+	seen := make(map[uint64]uint64)
+	for x := uint64(0); x < 10000; x++ {
+		y := Mix64(x)
+		if prev, ok := seen[y]; ok {
+			t.Fatalf("Mix64 collision: %d and %d -> %#x", prev, x, y)
+		}
+		seen[y] = x
+	}
+}
+
+func TestHash64SeedIndependence(t *testing.T) {
+	// Different seeds must produce (nearly) uncorrelated functions; check
+	// that the agreement rate on low bits is close to 1/2.
+	agree := 0
+	const n = 20000
+	for x := uint64(0); x < n; x++ {
+		if Hash64(x, 1)&1 == Hash64(x, 2)&1 {
+			agree++
+		}
+	}
+	frac := float64(agree) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("low-bit agreement between seeds = %.4f, want ~0.5", frac)
+	}
+}
+
+func TestHash64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip ~32 of 64 output bits on average.
+	var totalFlips, samples int
+	for x := uint64(0); x < 2000; x++ {
+		h := Hash64(x, 99)
+		for b := uint(0); b < 64; b += 7 {
+			h2 := Hash64(x^(1<<b), 99)
+			totalFlips += popcount(h ^ h2)
+			samples++
+		}
+	}
+	avg := float64(totalFlips) / float64(samples)
+	if avg < 28 || avg > 36 {
+		t.Errorf("avalanche average = %.2f output bits flipped, want ~32", avg)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestHashStringMatchesBytes(t *testing.T) {
+	cases := []string{"", "a", "hello world", "user:42", "\x00\xff"}
+	for _, s := range cases {
+		if HashString(s, 7) != HashBytes([]byte(s), 7) {
+			t.Errorf("HashString(%q) != HashBytes(%q)", s, s)
+		}
+	}
+}
+
+func TestHashStringDistinct(t *testing.T) {
+	if HashString("abc", 1) == HashString("abd", 1) {
+		t.Error("trivially distinct strings collided")
+	}
+	if HashString("abc", 1) == HashString("abc", 2) {
+		t.Error("same string under different seeds should differ")
+	}
+}
+
+func TestReduceRange(t *testing.T) {
+	err := quick.Check(func(h uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return Reduce(h, n) < n
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceUniform(t *testing.T) {
+	// Chi-square over 16 buckets; hash a consecutive key range.
+	const buckets = 16
+	const n = 64000
+	var counts [buckets]int
+	for x := uint64(0); x < n; x++ {
+		counts[HashToRange(x, 5, buckets)]++
+	}
+	expected := float64(n) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom; 99.9th percentile is ~37.7.
+	if chi2 > 37.7 {
+		t.Errorf("chi-square = %.1f over %d buckets, too non-uniform", chi2, buckets)
+	}
+}
+
+func TestFloat01Range(t *testing.T) {
+	err := quick.Check(func(h uint64) bool {
+		f := Float01(h)
+		return f >= 0 && f < 1
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+	if Float01(0) != 0 {
+		t.Errorf("Float01(0) = %v, want 0", Float01(0))
+	}
+}
+
+func TestFamilyMembersDiffer(t *testing.T) {
+	f := NewFamily(8, 77)
+	if f.K() != 8 {
+		t.Fatalf("K() = %d, want 8", f.K())
+	}
+	for j := 1; j < f.K(); j++ {
+		same := 0
+		for x := uint64(0); x < 1000; x++ {
+			if f.Hash(0, x) == f.Hash(j, x) {
+				same++
+			}
+		}
+		if same > 0 {
+			t.Errorf("members 0 and %d agree on %d/1000 64-bit outputs", j, same)
+		}
+	}
+}
+
+func TestFamilyDeterministicAcrossConstructions(t *testing.T) {
+	a := NewFamily(4, 123)
+	b := NewFamily(4, 123)
+	for j := 0; j < 4; j++ {
+		for x := uint64(0); x < 100; x++ {
+			if a.Hash(j, x) != b.Hash(j, x) {
+				t.Fatalf("family member %d not reproducible", j)
+			}
+		}
+	}
+}
+
+func TestFamilyHashRange(t *testing.T) {
+	f := NewFamily(3, 9)
+	for j := 0; j < 3; j++ {
+		for x := uint64(0); x < 1000; x++ {
+			if v := f.HashRange(j, x, 10); v >= 10 {
+				t.Fatalf("HashRange out of range: %d", v)
+			}
+		}
+	}
+}
+
+func TestFamilyPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFamily(0, …) should panic")
+		}
+	}()
+	NewFamily(0, 1)
+}
+
+func TestTwoUniversalFieldClosed(t *testing.T) {
+	tu := NewTwoUniversal(321)
+	err := quick.Check(func(x uint64) bool {
+		return tu.Hash(x) < MersennePrime61
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoUniversalLinearity(t *testing.T) {
+	// h(x) = a*x + b mod p, so h(x) - h(0) = a*x mod p and consequently
+	// h(2x) - h(0) = 2*(h(x) - h(0)) mod p for x in the field.
+	tu := NewTwoUniversal(5)
+	h0 := tu.Hash(0)
+	for x := uint64(1); x < 1000; x++ {
+		hx := tu.Hash(x)
+		h2x := tu.Hash(2 * x)
+		lhs := mod61Add(h2x, MersennePrime61-h0) // h(2x) - h(0)
+		rhs := mod61Add(hx, MersennePrime61-h0)  // h(x) - h(0)
+		rhs = mod61Add(rhs, rhs)                 // doubled
+		if lhs != rhs {
+			t.Fatalf("linearity violated at x=%d: %d vs %d", x, lhs, rhs)
+		}
+	}
+}
+
+func TestTwoUniversalPairwiseCollisions(t *testing.T) {
+	// Over many seeds, P(h(x) mod 64 == h(y) mod 64) should be ~1/64 for
+	// fixed x != y (pairwise independence).
+	const trials = 8000
+	collide := 0
+	for s := uint64(0); s < trials; s++ {
+		tu := NewTwoUniversal(s)
+		if tu.HashRange(17, 64) == tu.HashRange(90001, 64) {
+			collide++
+		}
+	}
+	frac := float64(collide) / trials
+	if math.Abs(frac-1.0/64) > 0.01 {
+		t.Errorf("pairwise collision rate = %.4f, want ~%.4f", frac, 1.0/64)
+	}
+}
+
+func TestMulMod61AgainstBigIntStyle(t *testing.T) {
+	// Verify the 128-bit folding against naive double-and-add arithmetic.
+	naive := func(a, b uint64) uint64 {
+		r := uint64(0)
+		a = mod61(a)
+		b = mod61(b)
+		for b > 0 {
+			if b&1 == 1 {
+				r = mod61Add(r, a)
+			}
+			a = mod61Add(a, a)
+			b >>= 1
+		}
+		return r
+	}
+	cases := [][2]uint64{
+		{0, 0}, {1, 1}, {MersennePrime61 - 1, MersennePrime61 - 1},
+		{123456789, 987654321}, {1 << 60, 1 << 60}, {MersennePrime61 - 1, 2},
+	}
+	for _, c := range cases {
+		if got, want := mulMod61(c[0], c[1]), naive(c[0], c[1]); got != want {
+			t.Errorf("mulMod61(%d, %d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+	err := quick.Check(func(a, b uint64) bool {
+		a = mod61(a)
+		b = mod61(b)
+		return mulMod61(a, b) == naive(a, b)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}

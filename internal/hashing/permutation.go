@@ -1,0 +1,98 @@
+package hashing
+
+// Permutation is an exact pseudo-random permutation over the domain
+// [0, n): a bijection, so distinct inputs always map to distinct outputs.
+//
+// MinHash and OPH are specified in terms of random permutations of the item
+// universe (Broder et al. require min-wise independent permutations; one
+// permutation hashing literally permutes [0, p)). A plain 64-bit hash is a
+// fine approximation for large universes, but a true bijection removes even
+// the residual collision probability and lets the small-universe unit tests
+// check exact permutation properties.
+//
+// The construction is a balanced Feistel network over 2w bits, where
+// 2w is the smallest even bit-width covering n, combined with cycle walking:
+// values that land outside [0, n) are re-encrypted until they fall inside.
+// A Feistel network is a bijection on its own domain, and cycle walking
+// restricts a bijection to a sub-domain while preserving bijectivity, so the
+// composite is a permutation of [0, n). Expected walk length is below 4
+// because the Feistel domain is at most 4x the target domain.
+type Permutation struct {
+	n         uint64   // domain size
+	halfBits  uint     // w: bits per Feistel half
+	halfMask  uint64   // 2^w - 1
+	roundKeys []uint64 // one derived key per Feistel round
+}
+
+// permRounds is the number of Feistel rounds. Four rounds already give a
+// strong pseudo-random permutation (Luby–Rackoff); seven adds margin at
+// negligible cost since this is not a cryptographic boundary.
+const permRounds = 7
+
+// NewPermutation builds a permutation of [0, n) from seed. n must be >= 1.
+func NewPermutation(n uint64, seed uint64) *Permutation {
+	if n == 0 {
+		panic("hashing: permutation domain must be non-empty")
+	}
+	// Smallest w with 2^(2w) >= n; the Feistel network runs on 2w bits.
+	half := uint(1)
+	for half < 32 && (uint64(1)<<(2*half)) < n {
+		half++
+	}
+	state := seed ^ 0xa2aa033b645f961b
+	keys := make([]uint64, permRounds)
+	for i := range keys {
+		keys[i] = SplitMix64(&state)
+	}
+	return &Permutation{
+		n:         n,
+		halfBits:  half,
+		halfMask:  (uint64(1) << half) - 1,
+		roundKeys: keys,
+	}
+}
+
+// N returns the domain size.
+func (p *Permutation) N() uint64 { return p.n }
+
+// Apply maps x through the permutation. x must be in [0, n).
+func (p *Permutation) Apply(x uint64) uint64 {
+	if x >= p.n {
+		panic("hashing: permutation input out of domain")
+	}
+	y := p.encrypt(x)
+	for y >= p.n {
+		y = p.encrypt(y) // cycle walking: stays a bijection on [0, n)
+	}
+	return y
+}
+
+// Invert maps y back through the permutation. y must be in [0, n).
+func (p *Permutation) Invert(y uint64) uint64 {
+	if y >= p.n {
+		panic("hashing: permutation input out of domain")
+	}
+	x := p.decrypt(y)
+	for x >= p.n {
+		x = p.decrypt(x)
+	}
+	return x
+}
+
+func (p *Permutation) encrypt(x uint64) uint64 {
+	l := x >> p.halfBits
+	r := x & p.halfMask
+	for i := 0; i < permRounds; i++ {
+		l, r = r, l^(Hash64(r, p.roundKeys[i])&p.halfMask)
+	}
+	return l<<p.halfBits | r
+}
+
+func (p *Permutation) decrypt(y uint64) uint64 {
+	l := y >> p.halfBits
+	r := y & p.halfMask
+	for i := permRounds - 1; i >= 0; i-- {
+		l, r = r^(Hash64(l, p.roundKeys[i])&p.halfMask), l
+	}
+	return l<<p.halfBits | r
+}

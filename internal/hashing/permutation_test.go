@@ -1,0 +1,129 @@
+package hashing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPermutationBijectiveSmallDomains(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 7, 16, 100, 1000, 4096} {
+		p := NewPermutation(n, 42)
+		seen := make([]bool, n)
+		for x := uint64(0); x < n; x++ {
+			y := p.Apply(x)
+			if y >= n {
+				t.Fatalf("n=%d: Apply(%d) = %d out of range", n, x, y)
+			}
+			if seen[y] {
+				t.Fatalf("n=%d: value %d produced twice", n, y)
+			}
+			seen[y] = true
+		}
+	}
+}
+
+func TestPermutationInverse(t *testing.T) {
+	for _, n := range []uint64{1, 5, 64, 1023, 100000} {
+		p := NewPermutation(n, 7)
+		for x := uint64(0); x < n; x += 1 + n/257 {
+			if got := p.Invert(p.Apply(x)); got != x {
+				t.Fatalf("n=%d: Invert(Apply(%d)) = %d", n, x, got)
+			}
+			if got := p.Apply(p.Invert(x)); got != x {
+				t.Fatalf("n=%d: Apply(Invert(%d)) = %d", n, x, got)
+			}
+		}
+	}
+}
+
+func TestPermutationSeedsDiffer(t *testing.T) {
+	const n = 1 << 12
+	a := NewPermutation(n, 1)
+	b := NewPermutation(n, 2)
+	same := 0
+	for x := uint64(0); x < n; x++ {
+		if a.Apply(x) == b.Apply(x) {
+			same++
+		}
+	}
+	// A random pair of permutations of n elements agrees in ~1 position.
+	if same > 10 {
+		t.Errorf("different seeds agree on %d/%d positions", same, n)
+	}
+}
+
+func TestPermutationDeterministic(t *testing.T) {
+	a := NewPermutation(999, 3)
+	b := NewPermutation(999, 3)
+	for x := uint64(0); x < 999; x++ {
+		if a.Apply(x) != b.Apply(x) {
+			t.Fatal("same-seed permutations disagree")
+		}
+	}
+}
+
+func TestPermutationLargeDomain(t *testing.T) {
+	p := NewPermutation(1<<40, 11)
+	err := quick.Check(func(x uint64) bool {
+		x %= 1 << 40
+		y := p.Apply(x)
+		return y < 1<<40 && p.Invert(y) == x
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermutationUniformish(t *testing.T) {
+	// The image of a contiguous prefix should scatter across the domain:
+	// bucket the outputs of the first n/4 inputs into 8 buckets.
+	const n = 1 << 16
+	p := NewPermutation(n, 123)
+	var counts [8]int
+	const samples = n / 4
+	for x := uint64(0); x < samples; x++ {
+		counts[p.Apply(x)*8/n]++
+	}
+	expected := float64(samples) / 8
+	for b, c := range counts {
+		ratio := float64(c) / expected
+		if ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("bucket %d holds %.2fx expected mass", b, ratio)
+		}
+	}
+}
+
+func TestPermutationPanics(t *testing.T) {
+	p := NewPermutation(10, 1)
+	for name, fn := range map[string]func(){
+		"apply out of domain":  func() { p.Apply(10) },
+		"invert out of domain": func() { p.Invert(10) },
+		"empty domain":         func() { NewPermutation(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkHash64(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= Hash64(uint64(i), 42)
+	}
+	_ = sink
+}
+
+func BenchmarkPermutationApply(b *testing.B) {
+	p := NewPermutation(1<<32, 42)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= p.Apply(uint64(i) & (1<<32 - 1))
+	}
+	_ = sink
+}

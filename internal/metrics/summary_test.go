@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s, err := Summarize([]float64{4, 1, 3, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 5 || s.Mean != 3 || s.P50 != 3 || s.Max != 5 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.P90 < 4 || s.P90 > 5 {
+		t.Errorf("p90 = %v", s.P90)
+	}
+	if !strings.Contains(s.String(), "n=5") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestSummarizeRejectsBadInput(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := Summarize([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestSummarizeSingleElement(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.P50 != 7 || s.P99 != 7 || s.Max != 7 {
+		t.Errorf("single-element summary %+v", s)
+	}
+}
+
+func TestQuantileOrderingProperty(t *testing.T) {
+	err := quick.Check(func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max &&
+			s.Max == sorted[len(sorted)-1] &&
+			s.P50 >= sorted[0]
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbsoluteAndRelativeErrors(t *testing.T) {
+	truth := []float64{10, 0, 20}
+	est := []float64{12, 5, 15}
+	abs := AbsoluteErrors(truth, est)
+	if abs[0] != 2 || abs[1] != 5 || abs[2] != 5 {
+		t.Errorf("abs = %v", abs)
+	}
+	rel := RelativeErrors(truth, est)
+	if len(rel) != 2 || rel[0] != 0.2 || rel[1] != 0.25 {
+		t.Errorf("rel = %v (zero-truth pair must be skipped)", rel)
+	}
+}
+
+func TestErrorsPanicOnMismatch(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"abs": func() { AbsoluteErrors([]float64{1}, nil) },
+		"rel": func() { RelativeErrors([]float64{1}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

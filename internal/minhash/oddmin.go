@@ -1,0 +1,77 @@
+package minhash
+
+import (
+	"math"
+
+	"github.com/vossketch/vos/internal/oddsketch"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// OddMinHash is the original odd sketch construction of Mitzenmacher,
+// Pagh & Pham (WWW'14): build a MinHash signature of k registers first,
+// then compress the signature itself into a z-bit odd sketch by toggling
+// the bit ψ(j, h*_j) for every register j. Two users' odd sketches then
+// estimate the number of *differing registers* via the odd sketch
+// estimator, which converts to Jaccard:
+//
+//	E[#differing registers] = k·(1 − J)
+//	n̂Δ(registers) = −(z/2)·ln(1 − 2α)   (α = differing-bit fraction)
+//	Ĵ = 1 − n̂Δ/(2k)  … the factor 2 because each differing register
+//	                    contributes 2 to the symmetric difference of the
+//	                    (j, value) pair sets.
+//
+// VOS (internal/core) differs in two ways the paper §IV spells out: it
+// builds the odd sketch over the *item set directly* (no MinHash stage, so
+// deletions cancel) and stores it virtually in shared memory. OddMinHash
+// is therefore the static ancestor: accurate for high similarities at very
+// few bits, but deletion-biased through its MinHash stage just like plain
+// MinHash. It is included as a related-work reference point and for the
+// compaction ablation.
+type OddMinHash struct {
+	sketch *oddsketch.Sketch
+	k      int // MinHash registers summarised
+}
+
+// NewOddMinHash compresses user u's current MinHash signature into a
+// zBits-bit odd sketch. Comparable only across equal (k, zBits, seed).
+func NewOddMinHash(s *Sketch, u stream.User, zBits int, seed uint64) *OddMinHash {
+	sig := s.Signature(u)
+	o := oddsketch.New(zBits, seed)
+	for j, h := range sig {
+		// Fold the register index into the toggled key so equal values
+		// in different registers do not collide.
+		o.Toggle(uint64(j)<<40 ^ h)
+	}
+	return &OddMinHash{sketch: o, k: s.k}
+}
+
+// BitsTotal returns the storage cost in bits.
+func (o *OddMinHash) BitsTotal() uint64 { return uint64(o.sketch.K()) }
+
+// EstimateJaccard estimates J from the two compressed signatures.
+func (o *OddMinHash) EstimateJaccard(other *OddMinHash) float64 {
+	if o.k != other.k {
+		panic("minhash: odd sketches built over different k")
+	}
+	z := o.sketch.XorOnes(other.sketch)
+	// Each differing register contributes two toggled keys (one per
+	// side), so the register-set symmetric difference is nΔ/2.
+	nDelta := oddsketch.EstimateFromOnes(z, o.sketch.K())
+	j := 1 - nDelta/(2*float64(o.k))
+	if j < 0 {
+		return 0
+	}
+	if j > 1 {
+		return 1
+	}
+	return j
+}
+
+// OddMinHashError returns the WWW'14 standard-error approximation for an
+// odd sketch of z bits summarising k registers at true Jaccard j:
+// the variance of the register-difference estimate is approximately
+// (z/4)·(e^{4k(1−j)/z} − 1), which propagates to Ĵ with factor 1/(2k).
+func OddMinHashError(k, zBits int, j float64) float64 {
+	varDiff := float64(zBits) / 4 * (math.Exp(4*float64(k)*(1-j)/float64(zBits)) - 1)
+	return math.Sqrt(varDiff) / (2 * float64(k))
+}

@@ -1,0 +1,96 @@
+package minhash
+
+import (
+	"math"
+	"testing"
+
+	"github.com/vossketch/vos/internal/gen"
+)
+
+func TestOddMinHashHighSimilarity(t *testing.T) {
+	// The WWW'14 construction targets high similarities with few bits.
+	const (
+		trials = 25
+		k      = 256
+		zBits  = 256
+		size   = 400
+	)
+	for _, wantJ := range []float64{0.8, 0.9, 0.95} {
+		common := gen.PlantedJaccard(size, wantJ)
+		trueJ := float64(common) / float64(2*size-common)
+		sum := 0.0
+		for trial := 0; trial < trials; trial++ {
+			s := New(k, uint64(trial))
+			process(s, gen.PlantedPair(1, 2, size, size, common, int64(trial)))
+			a := NewOddMinHash(s, 1, zBits, 99)
+			b := NewOddMinHash(s, 2, zBits, 99)
+			sum += a.EstimateJaccard(b)
+		}
+		avg := sum / trials
+		if math.Abs(avg-trueJ) > 0.05 {
+			t.Errorf("J=%.2f: mean estimate %.3f", trueJ, avg)
+		}
+	}
+}
+
+func TestOddMinHashIdenticalSets(t *testing.T) {
+	s := New(64, 5)
+	for i := 0; i < 100; i++ {
+		process(s, gen.PlantedPair(1, 2, 50, 50, 50, 7))
+		break
+	}
+	a := NewOddMinHash(s, 1, 128, 3)
+	b := NewOddMinHash(s, 2, 128, 3)
+	if got := a.EstimateJaccard(b); got != 1 {
+		t.Errorf("identical sets: Ĵ = %v", got)
+	}
+}
+
+func TestOddMinHashClamped(t *testing.T) {
+	// Disjoint sets saturate the sketch; the estimate must stay in [0,1].
+	s := New(128, 9)
+	process(s, gen.PlantedPair(1, 2, 300, 300, 0, 1))
+	a := NewOddMinHash(s, 1, 64, 2)
+	b := NewOddMinHash(s, 2, 64, 2)
+	j := a.EstimateJaccard(b)
+	if j < 0 || j > 1 {
+		t.Errorf("Ĵ = %v out of range", j)
+	}
+}
+
+func TestOddMinHashIncompatiblePanics(t *testing.T) {
+	s1 := New(64, 1)
+	s2 := New(32, 1)
+	process(s1, gen.PlantedPair(1, 2, 10, 10, 5, 1))
+	process(s2, gen.PlantedPair(1, 2, 10, 10, 5, 1))
+	a := NewOddMinHash(s1, 1, 64, 3)
+	b := NewOddMinHash(s2, 1, 64, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched k")
+		}
+	}()
+	a.EstimateJaccard(b)
+}
+
+func TestOddMinHashErrorFormula(t *testing.T) {
+	// Error should grow as similarity falls and shrink as bits grow.
+	if OddMinHashError(256, 256, 0.9) >= OddMinHashError(256, 256, 0.5) {
+		t.Error("error should increase as J decreases")
+	}
+	if OddMinHashError(256, 1024, 0.8) >= OddMinHashError(256, 128, 0.8) {
+		t.Error("error should decrease with more bits")
+	}
+	if e := OddMinHashError(256, 256, 1.0); e != 0 {
+		t.Errorf("zero-difference error = %v", e)
+	}
+}
+
+func TestOddMinHashBitsTotal(t *testing.T) {
+	s := New(16, 1)
+	process(s, gen.PlantedPair(1, 2, 10, 10, 5, 1))
+	o := NewOddMinHash(s, 1, 96, 1)
+	if o.BitsTotal() != 96 {
+		t.Errorf("BitsTotal = %d", o.BitsTotal())
+	}
+}

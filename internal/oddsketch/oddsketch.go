@@ -1,0 +1,141 @@
+// Package oddsketch implements the odd sketch of Mitzenmacher, Pagh and
+// Pham (WWW'14): a k-bit array where bit j holds the parity of the number
+// of set elements hashing to j. XOR-ing two odd sketches yields the odd
+// sketch of the symmetric difference, whose size can be estimated from the
+// fraction of 1-bits.
+//
+// The paper's method VOS builds odd sketches of user item-sets directly on
+// the stream (insert and delete are both a toggle, so they cancel exactly)
+// and stores them virtually in a shared array; this package provides the
+// plain, dedicated-storage variant used as a building block, as a reference
+// in tests, and as a static baseline.
+package oddsketch
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/vossketch/vos/internal/bitset"
+	"github.com/vossketch/vos/internal/hashing"
+)
+
+// Sketch is an odd sketch with dedicated k-bit storage.
+type Sketch struct {
+	bits *bitset.Bitset
+	k    int
+	seed uint64
+}
+
+// New creates an empty odd sketch of k bits. Two sketches are comparable
+// only if built with the same k and seed.
+func New(k int, seed uint64) *Sketch {
+	if k <= 0 {
+		panic("oddsketch: k must be positive")
+	}
+	return &Sketch{bits: bitset.New(uint64(k)), k: k, seed: seed}
+}
+
+// FromItems builds the odd sketch of a set given as a slice of items.
+// Items must be distinct; duplicates would cancel (parity!) rather than be
+// ignored.
+func FromItems(items []uint64, k int, seed uint64) *Sketch {
+	s := New(k, seed)
+	for _, it := range items {
+		s.Toggle(it)
+	}
+	return s
+}
+
+// K returns the sketch size in bits.
+func (s *Sketch) K() int { return s.k }
+
+// Seed returns the hash seed.
+func (s *Sketch) Seed() uint64 { return s.seed }
+
+// Slot returns ψ(item), the bit position item toggles.
+func (s *Sketch) Slot(item uint64) uint64 {
+	return hashing.HashToRange(item, s.seed, uint64(s.k))
+}
+
+// Toggle flips the bit of item; it implements both insertion and deletion
+// (the operations are identical on parities, the property VOS exploits).
+func (s *Sketch) Toggle(item uint64) {
+	s.bits.Flip(s.Slot(item))
+}
+
+// Bit returns bit j of the sketch.
+func (s *Sketch) Bit(j int) bool { return s.bits.Get(uint64(j)) }
+
+// OnesFraction returns the fraction of set bits.
+func (s *Sketch) OnesFraction() float64 { return s.bits.OnesFraction() }
+
+// Clone returns a deep copy.
+func (s *Sketch) Clone() *Sketch {
+	return &Sketch{bits: s.bits.Clone(), k: s.k, seed: s.seed}
+}
+
+// Xor replaces s with s ⊕ o, the odd sketch of the symmetric difference of
+// the two underlying sets. Panics if the sketches are incompatible.
+func (s *Sketch) Xor(o *Sketch) {
+	s.mustMatch(o)
+	s.bits.Xor(o.bits)
+}
+
+// XorOnes returns the number of bits where s and o differ, without
+// materialising the XOR.
+func (s *Sketch) XorOnes(o *Sketch) int {
+	s.mustMatch(o)
+	return int(s.bits.XorCount(o.bits))
+}
+
+func (s *Sketch) mustMatch(o *Sketch) {
+	if s.k != o.k || s.seed != o.seed {
+		panic(fmt.Sprintf("oddsketch: incompatible sketches (k=%d/%d seed=%#x/%#x)",
+			s.k, o.k, s.seed, o.seed))
+	}
+}
+
+// EstimateSymmetricDifference estimates |S₁ Δ S₂| from the two sketches.
+//
+// With z = popcount(s ⊕ o) and α = z/k, the WWW'14 analysis gives
+// E[α] = (1 − (1−2/k)^{nΔ})/2 ≈ (1 − e^{−2·nΔ/k})/2, inverted as
+//
+//	n̂Δ = −(k/2)·ln(1 − 2α).
+//
+// When α ≥ 1/2 the sketch is saturated (nΔ ≫ k); the estimate is clamped
+// to the value at α = (k−1)/(2k), the largest resolvable fraction, and
+// Saturated reports the condition.
+func (s *Sketch) EstimateSymmetricDifference(o *Sketch) float64 {
+	z := s.XorOnes(o)
+	return EstimateFromOnes(z, s.k)
+}
+
+// Saturated reports whether the pair of sketches is beyond its resolvable
+// range (half or more differing bits).
+func (s *Sketch) Saturated(o *Sketch) bool {
+	return 2*s.XorOnes(o) >= s.k
+}
+
+// EstimateFromOnes converts a differing-bit count z out of k into the
+// symmetric-difference estimate. Exposed for estimators (VOS, MinHash+odd)
+// that obtain z by other means.
+func EstimateFromOnes(z, k int) float64 {
+	if z <= 0 {
+		return 0
+	}
+	alpha := float64(z) / float64(k)
+	maxAlpha := (float64(k) - 1) / (2 * float64(k))
+	if alpha > maxAlpha {
+		alpha = maxAlpha
+	}
+	return -float64(k) / 2 * math.Log(1-2*alpha)
+}
+
+// EstimateCardinality estimates |S| from the sketch alone: the symmetric
+// difference with the empty set is the set itself, so the standard odd
+// sketch inversion applies with α the sketch's own ones fraction. Useful
+// as a sanity probe when no exact counter is kept; resolution degrades
+// (saturates) once |S| approaches k.
+func (s *Sketch) EstimateCardinality() float64 {
+	return EstimateFromOnes(int(s.bits.Count()), s.k)
+}

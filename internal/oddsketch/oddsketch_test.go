@@ -1,0 +1,235 @@
+package oddsketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestToggleCancels(t *testing.T) {
+	s := New(64, 1)
+	s.Toggle(42)
+	s.Toggle(42)
+	if s.OnesFraction() != 0 {
+		t.Error("double toggle did not cancel")
+	}
+}
+
+func TestXorHomomorphismProperty(t *testing.T) {
+	// odd(S1) ⊕ odd(S2) must equal odd(S1 Δ S2).
+	err := quick.Check(func(rawA, rawB []uint16) bool {
+		const k = 128
+		setA := dedup(rawA)
+		setB := dedup(rawB)
+		a := FromItems(setA, k, 7)
+		b := FromItems(setB, k, 7)
+
+		symDiff := symmetricDifference(setA, setB)
+		want := FromItems(symDiff, k, 7)
+
+		got := a.Clone()
+		got.Xor(b)
+		for j := 0; j < k; j++ {
+			if got.Bit(j) != want.Bit(j) {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorOnesMatchesXor(t *testing.T) {
+	a := FromItems([]uint64{1, 2, 3, 4}, 32, 9)
+	b := FromItems([]uint64{3, 4, 5, 6}, 32, 9)
+	z := a.XorOnes(b)
+	c := a.Clone()
+	c.Xor(b)
+	ones := 0
+	for j := 0; j < 32; j++ {
+		if c.Bit(j) {
+			ones++
+		}
+	}
+	if z != ones {
+		t.Errorf("XorOnes %d, Xor popcount %d", z, ones)
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	// Average the estimate over independent seeds; the mean relative
+	// error should be small when nΔ ≪ k.
+	const (
+		k      = 1024
+		nDelta = 120
+		trials = 40
+	)
+	rng := rand.New(rand.NewSource(3))
+	sum := 0.0
+	for trial := 0; trial < trials; trial++ {
+		seed := rng.Uint64()
+		// Disjoint halves: A has items [0, 60), B has [60, 120); common
+		// tail shared by both must not affect the estimate.
+		itemsA := make([]uint64, 0, 260)
+		itemsB := make([]uint64, 0, 260)
+		for i := uint64(0); i < nDelta/2; i++ {
+			itemsA = append(itemsA, i)
+			itemsB = append(itemsB, nDelta/2+i)
+		}
+		for i := uint64(1000); i < 1200; i++ { // 200 shared items
+			itemsA = append(itemsA, i)
+			itemsB = append(itemsB, i)
+		}
+		a := FromItems(itemsA, k, seed)
+		b := FromItems(itemsB, k, seed)
+		sum += a.EstimateSymmetricDifference(b)
+	}
+	avg := sum / trials
+	if rel := math.Abs(avg-nDelta) / nDelta; rel > 0.10 {
+		t.Errorf("mean estimate %.1f for nΔ=%d (rel err %.2f)", avg, nDelta, rel)
+	}
+}
+
+func TestEstimateIdenticalSetsIsZero(t *testing.T) {
+	items := []uint64{5, 6, 7, 8, 9}
+	a := FromItems(items, 64, 2)
+	b := FromItems(items, 64, 2)
+	if got := a.EstimateSymmetricDifference(b); got != 0 {
+		t.Errorf("identical sets estimated nΔ=%v", got)
+	}
+	if a.Saturated(b) {
+		t.Error("identical sets reported saturated")
+	}
+}
+
+func TestEstimateSaturationClamped(t *testing.T) {
+	// Wildly different huge sets: α ≈ 1/2, estimate must stay finite.
+	var itemsA, itemsB []uint64
+	for i := uint64(0); i < 5000; i++ {
+		itemsA = append(itemsA, i)
+		itemsB = append(itemsB, 1_000_000+i)
+	}
+	a := FromItems(itemsA, 64, 3)
+	b := FromItems(itemsB, 64, 3)
+	est := a.EstimateSymmetricDifference(b)
+	if math.IsInf(est, 0) || math.IsNaN(est) {
+		t.Fatalf("saturated estimate not finite: %v", est)
+	}
+	if !a.Saturated(b) {
+		t.Log("note: saturation flag false for this seed (α can dip below 1/2 by chance)")
+	}
+}
+
+func TestEstimateFromOnesEdgeCases(t *testing.T) {
+	if EstimateFromOnes(0, 64) != 0 {
+		t.Error("z=0 should estimate 0")
+	}
+	if EstimateFromOnes(-1, 64) != 0 {
+		t.Error("negative z should clamp to 0")
+	}
+	v := EstimateFromOnes(64, 64) // alpha=1, fully saturated
+	if math.IsInf(v, 0) || math.IsNaN(v) || v <= 0 {
+		t.Errorf("saturated EstimateFromOnes = %v", v)
+	}
+	// Monotone in z up to the clamp.
+	prev := -1.0
+	for z := 0; z <= 32; z++ {
+		e := EstimateFromOnes(z, 64)
+		if e < prev {
+			t.Fatalf("estimate not monotone at z=%d", z)
+		}
+		prev = e
+	}
+}
+
+func TestIncompatiblePanics(t *testing.T) {
+	a := New(64, 1)
+	b := New(64, 2)
+	c := New(32, 1)
+	for name, fn := range map[string]func(){
+		"different seed": func() { a.XorOnes(b) },
+		"different k":    func() { a.Xor(c) },
+		"bad k":          func() { New(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSlotDeterministic(t *testing.T) {
+	s := New(100, 5)
+	for it := uint64(0); it < 50; it++ {
+		if s.Slot(it) != s.Slot(it) || s.Slot(it) >= 100 {
+			t.Fatalf("slot misbehaves for %d", it)
+		}
+	}
+}
+
+func dedup(raw []uint16) []uint64 {
+	seen := make(map[uint64]struct{}, len(raw))
+	var out []uint64
+	for _, r := range raw {
+		v := uint64(r)
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func symmetricDifference(a, b []uint64) []uint64 {
+	inA := make(map[uint64]struct{}, len(a))
+	for _, x := range a {
+		inA[x] = struct{}{}
+	}
+	inB := make(map[uint64]struct{}, len(b))
+	for _, x := range b {
+		inB[x] = struct{}{}
+	}
+	var out []uint64
+	for _, x := range a {
+		if _, ok := inB[x]; !ok {
+			out = append(out, x)
+		}
+	}
+	for _, x := range b {
+		if _, ok := inA[x]; !ok {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestEstimateCardinality(t *testing.T) {
+	const (
+		k      = 1024
+		n      = 100
+		trials = 30
+	)
+	sum := 0.0
+	for trial := 0; trial < trials; trial++ {
+		items := make([]uint64, n)
+		for i := range items {
+			items[i] = uint64(trial*10000 + i)
+		}
+		s := FromItems(items, k, uint64(trial))
+		sum += s.EstimateCardinality()
+	}
+	avg := sum / trials
+	if math.Abs(avg-n)/n > 0.10 {
+		t.Errorf("mean cardinality estimate %.1f, want ~%d", avg, n)
+	}
+	if New(64, 1).EstimateCardinality() != 0 {
+		t.Error("empty sketch should estimate 0")
+	}
+}

@@ -1,0 +1,142 @@
+package oph
+
+import (
+	"github.com/vossketch/vos/internal/hashing"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// Densification fills the empty bins of a static OPH signature so the plain
+// "fraction of equal registers" estimator applies with the full k
+// denominator. All schemes must fill an empty bin as a deterministic
+// function of (bin index, occupancy pattern, donor values) that both sides
+// of a comparison share, so that two users with identical occupied bins get
+// identical fills — that is what preserves the collision probability.
+//
+// The three schemes implemented are the ones the paper's related-work
+// section cites:
+//
+//   - DensifyRotation — ICML'14: an empty bin borrows from the nearest
+//     non-empty bin to its right (circularly), offset by the distance so
+//     that borrowed values from different distances cannot collide.
+//   - DensifyImproved — UAI'14: each empty bin flips a direction coin
+//     (an independent hash of the bin index) and borrows from the nearest
+//     non-empty bin left or right, halving the variance of pure rotation.
+//   - DensifyOptimal — ICML'17: each empty bin probes donor bins using a
+//     2-universal hash of (bin, attempt) until it hits a non-empty bin,
+//     making every donor equally likely and achieving the variance lower
+//     bound.
+//
+// Densified signatures are only meaningful for static (insertion-only)
+// sets; after a dynamic deletion empties a bin the donor structure is no
+// longer exchangeable. The dynamic experiments therefore use the sparse
+// NIPS'12 estimator, and densification appears in the abl-dense ablation.
+
+// Densified is a filled signature ready for register-wise comparison.
+type Densified struct {
+	vals []uint64
+	k    int
+}
+
+// offsetC separates borrowed values by distance: a value borrowed from
+// distance d is offset by d·offsetC, so equal registers imply equal donors
+// at equal distances (the ICML'14 construction's C constant).
+const offsetC = 0x9e3779b97f4a7c15
+
+// DensifyRotation applies the ICML'14 rotation scheme to user u's bins.
+// It panics if every bin is empty (an empty set has no signature).
+func (s *Sketch) DensifyRotation(u stream.User) *Densified {
+	vals, occ := s.Signature(u)
+	requireNonEmpty(occ)
+	out := make([]uint64, s.k)
+	for j := 0; j < s.k; j++ {
+		if occ[j] {
+			out[j] = vals[j]
+			continue
+		}
+		for d := 1; ; d++ {
+			src := (j + d) % s.k
+			if occ[src] {
+				out[j] = vals[src] + uint64(d)*offsetC
+				break
+			}
+		}
+	}
+	return &Densified{vals: out, k: s.k}
+}
+
+// DensifyImproved applies the UAI'14 scheme: per-bin random direction.
+func (s *Sketch) DensifyImproved(u stream.User) *Densified {
+	vals, occ := s.Signature(u)
+	requireNonEmpty(occ)
+	out := make([]uint64, s.k)
+	for j := 0; j < s.k; j++ {
+		if occ[j] {
+			out[j] = vals[j]
+			continue
+		}
+		// The direction bit must depend only on the bin index (and the
+		// sketch seed), not on the user, so both sides agree.
+		goRight := hashing.Hash64(uint64(j), s.seed^0xd1b54a32d192ed03)&1 == 1
+		for d := 1; ; d++ {
+			var src int
+			if goRight {
+				src = (j + d) % s.k
+			} else {
+				src = (j - d%s.k + s.k) % s.k
+			}
+			if occ[src] {
+				out[j] = vals[src] + uint64(d)*offsetC
+				break
+			}
+		}
+	}
+	return &Densified{vals: out, k: s.k}
+}
+
+// DensifyOptimal applies the ICML'17 scheme: 2-universal probing.
+func (s *Sketch) DensifyOptimal(u stream.User) *Densified {
+	vals, occ := s.Signature(u)
+	requireNonEmpty(occ)
+	tu := hashing.NewTwoUniversal(s.seed ^ 0x2545f4914f6cdd1d)
+	out := make([]uint64, s.k)
+	for j := 0; j < s.k; j++ {
+		if occ[j] {
+			out[j] = vals[j]
+			continue
+		}
+		for attempt := uint64(1); ; attempt++ {
+			// Probe sequence is a function of (bin, attempt) shared by
+			// both parties.
+			src := int(tu.HashRange(uint64(j)<<20|attempt, uint64(s.k)))
+			if occ[src] {
+				out[j] = vals[src] + attempt*offsetC
+				break
+			}
+		}
+	}
+	return &Densified{vals: out, k: s.k}
+}
+
+// EstimateJaccard compares two densified signatures register-wise over the
+// full k denominator.
+func (d *Densified) EstimateJaccard(o *Densified) float64 {
+	if d.k != o.k {
+		panic("oph: incompatible densified signatures")
+	}
+	matches := 0
+	for j := 0; j < d.k; j++ {
+		if d.vals[j] == o.vals[j] {
+			matches++
+		}
+	}
+	return float64(matches) / float64(d.k)
+}
+
+func requireNonEmpty(occ []bool) {
+	for _, o := range occ {
+		if o {
+			return
+		}
+	}
+	panic("oph: cannot densify an all-empty signature")
+}

@@ -1,0 +1,233 @@
+package oph
+
+import (
+	"math"
+	"testing"
+
+	"github.com/vossketch/vos/internal/gen"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+func process(s *Sketch, edges []stream.Edge) {
+	for _, e := range edges {
+		s.Process(e)
+	}
+}
+
+func TestStaticJaccardAccuracy(t *testing.T) {
+	const (
+		trials = 25
+		k      = 256
+		size   = 500 // > k so most bins are occupied
+	)
+	for _, wantJ := range []float64{0.1, 0.5, 0.9} {
+		common := gen.PlantedJaccard(size, wantJ)
+		trueJ := float64(common) / float64(2*size-common)
+		sum := 0.0
+		for trial := 0; trial < trials; trial++ {
+			s := New(k, uint64(trial))
+			process(s, gen.PlantedPair(1, 2, size, size, common, int64(trial)))
+			sum += s.EstimateJaccard(1, 2)
+		}
+		avg := sum / trials
+		if math.Abs(avg-trueJ) > 0.05 {
+			t.Errorf("J=%.2f: mean estimate %.3f", trueJ, avg)
+		}
+	}
+}
+
+func TestSparseSetsUseNonEmptyDenominator(t *testing.T) {
+	// Few items, many bins: the NIPS'12 estimator must divide by the
+	// non-empty bin count, not k, or sparse sets would be crushed to ~0.
+	const k = 512
+	s := New(k, 7)
+	items := []stream.Item{1, 2, 3, 4, 5}
+	for _, it := range items {
+		s.Process(stream.Edge{User: 1, Item: it, Op: stream.Insert})
+		s.Process(stream.Edge{User: 2, Item: it, Op: stream.Insert})
+	}
+	if got := s.EstimateJaccard(1, 2); got != 1 {
+		t.Errorf("identical sparse sets: Ĵ = %v, want 1", got)
+	}
+}
+
+func TestProcessTouchesOneBin(t *testing.T) {
+	// O(1) semantics: an insert may change at most one register.
+	s := New(64, 3)
+	s.Process(stream.Edge{User: 1, Item: 100, Op: stream.Insert})
+	before, occBefore := s.Signature(1)
+	s.Process(stream.Edge{User: 1, Item: 200, Op: stream.Insert})
+	after, occAfter := s.Signature(1)
+	changed := 0
+	for j := range before {
+		if before[j] != after[j] || occBefore[j] != occAfter[j] {
+			changed++
+		}
+	}
+	if changed > 1 {
+		t.Errorf("insert changed %d bins", changed)
+	}
+}
+
+func TestDeletionEmptiesOnlyOwningBin(t *testing.T) {
+	s := New(32, 5)
+	s.Process(stream.Edge{User: 1, Item: 42, Op: stream.Insert})
+	_, occ := s.Signature(1)
+	occupied := 0
+	for _, o := range occ {
+		if o {
+			occupied++
+		}
+	}
+	if occupied != 1 {
+		t.Fatalf("one insert occupied %d bins", occupied)
+	}
+	s.Process(stream.Edge{User: 1, Item: 42, Op: stream.Delete})
+	_, occ = s.Signature(1)
+	for j, o := range occ {
+		if o {
+			t.Errorf("bin %d still occupied after deleting its only item", j)
+		}
+	}
+}
+
+func TestDeletionBiasExists(t *testing.T) {
+	// The §III sampling bias depends on the *history*, not just the
+	// final sets: user 1 inserts [100, 400) directly, user 2 inserts
+	// [0, 400) and then unsubscribes [0, 100). Both end with the same
+	// set, so true J = 1, but each bin of user 2 whose minimum fell in
+	// the deleted prefix (≈ 1/4 of bins) is emptied and never refills,
+	// capping the estimate well below 1.
+	const k = 128
+	sum := 0.0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		s := New(k, uint64(trial))
+		for i := 100; i < 400; i++ {
+			s.Process(stream.Edge{User: 1, Item: stream.Item(i), Op: stream.Insert})
+		}
+		for i := 0; i < 400; i++ {
+			s.Process(stream.Edge{User: 2, Item: stream.Item(i), Op: stream.Insert})
+		}
+		for i := 0; i < 100; i++ {
+			s.Process(stream.Edge{User: 2, Item: stream.Item(i), Op: stream.Delete})
+		}
+		sum += s.EstimateJaccard(1, 2)
+	}
+	avg := sum / trials
+	if avg > 0.9 {
+		t.Errorf("expected visible deletion bias on identical sets (J=1), estimate %.3f"+
+			" (baseline no longer reproduces the paper's flaw)", avg)
+	}
+}
+
+func TestEstimateUnknownUsers(t *testing.T) {
+	s := New(8, 1)
+	if s.EstimateJaccard(5, 6) != 0 {
+		t.Error("unknown users should estimate 0")
+	}
+	if s.EstimateCommonItems(5, 6) != 0 {
+		t.Error("unknown users common should be 0")
+	}
+}
+
+func TestCommonItemsIdentity(t *testing.T) {
+	const size, common = 600, 300
+	s := New(256, 3)
+	process(s, gen.PlantedPair(1, 2, size, size, common, 5))
+	est := s.EstimateCommonItems(1, 2)
+	if math.Abs(est-common)/common > 0.25 {
+		t.Errorf("ŝ = %.1f, want ~%d", est, common)
+	}
+}
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 should panic")
+		}
+	}()
+	New(0, 1)
+}
+
+func TestDensifiedAccuracySparse(t *testing.T) {
+	// Sparse regime (size < k) is where densification matters.
+	const (
+		trials = 30
+		k      = 256
+		size   = 60
+	)
+	schemes := map[string]func(*Sketch, stream.User) *Densified{
+		"rotation": (*Sketch).DensifyRotation,
+		"improved": (*Sketch).DensifyImproved,
+		"optimal":  (*Sketch).DensifyOptimal,
+	}
+	for name, densify := range schemes {
+		for _, wantJ := range []float64{0.3, 0.7} {
+			common := gen.PlantedJaccard(size, wantJ)
+			trueJ := float64(common) / float64(2*size-common)
+			sum := 0.0
+			for trial := 0; trial < trials; trial++ {
+				s := New(k, uint64(trial))
+				process(s, gen.PlantedPair(1, 2, size, size, common, int64(trial)))
+				da := densify(s, 1)
+				db := densify(s, 2)
+				sum += da.EstimateJaccard(db)
+			}
+			avg := sum / trials
+			if math.Abs(avg-trueJ) > 0.06 {
+				t.Errorf("%s J=%.2f: mean estimate %.3f", name, trueJ, avg)
+			}
+		}
+	}
+}
+
+func TestDensifyIdenticalSetsPerfect(t *testing.T) {
+	// Identical sets must densify to identical signatures (J = 1) under
+	// every scheme — the shared-donor property.
+	items := []stream.Item{10, 20, 30}
+	s := New(64, 9)
+	for _, it := range items {
+		s.Process(stream.Edge{User: 1, Item: it, Op: stream.Insert})
+		s.Process(stream.Edge{User: 2, Item: it, Op: stream.Insert})
+	}
+	for name, densify := range map[string]func(*Sketch, stream.User) *Densified{
+		"rotation": (*Sketch).DensifyRotation,
+		"improved": (*Sketch).DensifyImproved,
+		"optimal":  (*Sketch).DensifyOptimal,
+	} {
+		if got := densify(s, 1).EstimateJaccard(densify(s, 2)); got != 1 {
+			t.Errorf("%s: identical sets densified to Ĵ = %v", name, got)
+		}
+	}
+}
+
+func TestDensifyPanics(t *testing.T) {
+	s := New(16, 1)
+	s.Process(stream.Edge{User: 1, Item: 5, Op: stream.Insert})
+	for name, fn := range map[string]func(){
+		"all empty": func() { s.DensifyRotation(99) },
+		"mismatched k": func() {
+			other := New(8, 1)
+			other.Process(stream.Edge{User: 1, Item: 5, Op: stream.Insert})
+			s.DensifyRotation(1).EstimateJaccard(other.DensifyRotation(1))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkProcessK100(b *testing.B) {
+	s := New(100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Process(stream.Edge{User: stream.User(i % 1000), Item: stream.Item(i), Op: stream.Insert})
+	}
+}

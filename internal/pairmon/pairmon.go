@@ -1,0 +1,158 @@
+// Package pairmon maintains the top-K most similar user pairs within a
+// watched user set over a fully dynamic graph stream — the "mining user
+// similarities" loop from the paper's title, packaged as a reusable
+// component: the paper's §V experiments track exactly such a pair set over
+// time, and applications (friend suggestion, near-duplicate monitoring)
+// consume exactly this ranking.
+//
+// The monitor wraps any similarity.Estimator. Stream elements flow through
+// Process, which forwards to the estimator and marks the touched user
+// dirty; every RefreshEvery elements (and on demand via Refresh) the
+// monitor re-scores only the pairs involving dirty watched users, keeping
+// maintenance cost proportional to churn instead of to the full pair set.
+package pairmon
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/vossketch/vos/internal/similarity"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// ScoredPair is one ranked pair.
+type ScoredPair struct {
+	U, V    stream.User
+	Jaccard float64
+	Common  float64
+}
+
+// Monitor tracks similarity scores for all pairs of a watched user set.
+type Monitor struct {
+	est     similarity.Estimator
+	watched []stream.User
+	index   map[stream.User]int // watched user -> position
+	// scores is a flat upper-triangular matrix of pair scores.
+	scores []ScoredPair
+	dirty  map[stream.User]struct{}
+	// refreshEvery triggers an automatic Refresh after this many
+	// processed elements; 0 disables automatic refresh.
+	refreshEvery int
+	sinceRefresh int
+	rescored     uint64
+}
+
+// New creates a monitor over the watched users (at least two, distinct).
+func New(est similarity.Estimator, watched []stream.User, refreshEvery int) (*Monitor, error) {
+	if len(watched) < 2 {
+		return nil, fmt.Errorf("pairmon: need at least two watched users, got %d", len(watched))
+	}
+	index := make(map[stream.User]int, len(watched))
+	for pos, u := range watched {
+		if _, dup := index[u]; dup {
+			return nil, fmt.Errorf("pairmon: duplicate watched user %d", u)
+		}
+		index[u] = pos
+	}
+	n := len(watched)
+	m := &Monitor{
+		est:          est,
+		watched:      append([]stream.User(nil), watched...),
+		index:        index,
+		scores:       make([]ScoredPair, n*(n-1)/2),
+		dirty:        make(map[stream.User]struct{}),
+		refreshEvery: refreshEvery,
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.scores[m.pairIdx(i, j)] = ScoredPair{U: watched[i], V: watched[j]}
+		}
+	}
+	return m, nil
+}
+
+// pairIdx maps watched positions (i < j) to the flat triangular index.
+func (m *Monitor) pairIdx(i, j int) int {
+	n := len(m.watched)
+	return i*(2*n-i-1)/2 + (j - i - 1)
+}
+
+// Process forwards one element to the estimator and tracks dirtiness.
+func (m *Monitor) Process(e stream.Edge) {
+	m.est.Process(e)
+	if _, ok := m.index[e.User]; ok {
+		m.dirty[e.User] = struct{}{}
+	}
+	m.sinceRefresh++
+	if m.refreshEvery > 0 && m.sinceRefresh >= m.refreshEvery {
+		m.Refresh()
+	}
+}
+
+// Refresh re-scores every pair containing a dirty watched user and clears
+// the dirty set. Cost: O(|dirty| · |watched| · query).
+func (m *Monitor) Refresh() {
+	m.sinceRefresh = 0
+	if len(m.dirty) == 0 {
+		return
+	}
+	// Re-score each dirty-involving pair exactly once even when both
+	// endpoints are dirty.
+	done := make(map[int]struct{})
+	for u := range m.dirty {
+		i := m.index[u]
+		for j := 0; j < len(m.watched); j++ {
+			if j == i {
+				continue
+			}
+			a, b := i, j
+			if a > b {
+				a, b = b, a
+			}
+			idx := m.pairIdx(a, b)
+			if _, ok := done[idx]; ok {
+				continue
+			}
+			done[idx] = struct{}{}
+			p := &m.scores[idx]
+			p.Jaccard = m.est.EstimateJaccard(p.U, p.V)
+			p.Common = m.est.EstimateCommonItems(p.U, p.V)
+			m.rescored++
+		}
+	}
+	m.dirty = make(map[stream.User]struct{})
+}
+
+// Top returns the n highest-Jaccard pairs (ties by common items, then by
+// user IDs for determinism). Call Refresh first — or rely on automatic
+// refresh — for scores reflecting the latest stream position; Top itself
+// forces a refresh of outstanding dirty users.
+func (m *Monitor) Top(n int) []ScoredPair {
+	m.Refresh()
+	out := append([]ScoredPair(nil), m.scores...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Jaccard != out[j].Jaccard {
+			return out[i].Jaccard > out[j].Jaccard
+		}
+		if out[i].Common != out[j].Common {
+			return out[i].Common > out[j].Common
+		}
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	if n > len(out) {
+		n = len(out)
+	}
+	return out[:n]
+}
+
+// Watched returns the watched users in registration order.
+func (m *Monitor) Watched() []stream.User {
+	return append([]stream.User(nil), m.watched...)
+}
+
+// Rescored returns the number of pair re-scorings performed, exposed for
+// the maintenance-cost tests.
+func (m *Monitor) Rescored() uint64 { return m.rescored }

@@ -1,0 +1,183 @@
+package pairmon
+
+import (
+	"testing"
+
+	"github.com/vossketch/vos/internal/gen"
+	"github.com/vossketch/vos/internal/similarity"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+func watchedUsers(n int) []stream.User {
+	out := make([]stream.User, n)
+	for i := range out {
+		out[i] = stream.User(i)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	x := similarity.NewExact()
+	if _, err := New(x, nil, 0); err == nil {
+		t.Error("empty watch set accepted")
+	}
+	if _, err := New(x, []stream.User{1}, 0); err == nil {
+		t.Error("single user accepted")
+	}
+	if _, err := New(x, []stream.User{1, 1}, 0); err == nil {
+		t.Error("duplicate user accepted")
+	}
+	if _, err := New(x, []stream.User{1, 2}, 0); err != nil {
+		t.Errorf("valid watch set rejected: %v", err)
+	}
+}
+
+func TestTopMatchesExactRanking(t *testing.T) {
+	// With the exact oracle underneath, Top must equal brute force.
+	m, err := New(similarity.NewExact(), watchedUsers(6), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair (0,1) shares 10 items, (2,3) shares 5, (4,5) shares 1;
+	// all users also get private items.
+	feed := func(u stream.User, items ...uint64) {
+		for _, i := range items {
+			m.Process(stream.Edge{User: u, Item: stream.Item(i), Op: stream.Insert})
+		}
+	}
+	shared := func(a, b stream.User, base uint64, n int) {
+		for i := 0; i < n; i++ {
+			m.Process(stream.Edge{User: a, Item: stream.Item(base + uint64(i)), Op: stream.Insert})
+			m.Process(stream.Edge{User: b, Item: stream.Item(base + uint64(i)), Op: stream.Insert})
+		}
+	}
+	shared(0, 1, 1000, 10)
+	shared(2, 3, 2000, 5)
+	shared(4, 5, 3000, 1)
+	feed(0, 10, 11)
+	feed(1, 20)
+	feed(2, 30)
+	feed(3, 40)
+	feed(4, 50)
+	feed(5, 60)
+
+	top := m.Top(3)
+	if len(top) != 3 {
+		t.Fatalf("Top(3) returned %d", len(top))
+	}
+	wantPairs := [][2]stream.User{{0, 1}, {2, 3}, {4, 5}}
+	for i, want := range wantPairs {
+		if top[i].U != want[0] || top[i].V != want[1] {
+			t.Errorf("rank %d: (%d,%d), want (%d,%d)", i, top[i].U, top[i].V, want[0], want[1])
+		}
+	}
+	if top[0].Common != 10 {
+		t.Errorf("top common = %v", top[0].Common)
+	}
+}
+
+func TestDeletionsDemoteAPair(t *testing.T) {
+	m, _ := New(similarity.NewExact(), watchedUsers(4), 0)
+	shared := func(a, b stream.User, base uint64, n int) {
+		for i := 0; i < n; i++ {
+			m.Process(stream.Edge{User: a, Item: stream.Item(base + uint64(i)), Op: stream.Insert})
+			m.Process(stream.Edge{User: b, Item: stream.Item(base + uint64(i)), Op: stream.Insert})
+		}
+	}
+	shared(0, 1, 100, 8)
+	shared(2, 3, 200, 6)
+	if top := m.Top(1); top[0].U != 0 || top[0].V != 1 {
+		t.Fatalf("setup: top = %+v", top[0])
+	}
+	// User 0 unsubscribes most of the shared items: (2,3) takes over.
+	for i := uint64(100); i < 107; i++ {
+		m.Process(stream.Edge{User: 0, Item: stream.Item(i), Op: stream.Delete})
+	}
+	if top := m.Top(1); top[0].U != 2 || top[0].V != 3 {
+		t.Errorf("after deletions top = (%d,%d), want (2,3)", top[0].U, top[0].V)
+	}
+}
+
+func TestDirtyTrackingLimitsRescoring(t *testing.T) {
+	m, _ := New(similarity.NewExact(), watchedUsers(10), 0)
+	// Touch only user 0; a refresh must re-score exactly its 9 pairs.
+	m.Process(stream.Edge{User: 0, Item: 1, Op: stream.Insert})
+	m.Refresh()
+	if got := m.Rescored(); got != 9 {
+		t.Errorf("rescored %d pairs, want 9", got)
+	}
+	// No dirty users: refresh is a no-op.
+	m.Refresh()
+	if got := m.Rescored(); got != 9 {
+		t.Errorf("no-op refresh re-scored to %d", got)
+	}
+	// Non-watched users never dirty anything.
+	m.Process(stream.Edge{User: 999, Item: 1, Op: stream.Insert})
+	m.Refresh()
+	if got := m.Rescored(); got != 9 {
+		t.Errorf("unwatched user caused re-scoring: %d", got)
+	}
+}
+
+func TestBothEndpointsDirtyRescoredOnce(t *testing.T) {
+	m, _ := New(similarity.NewExact(), watchedUsers(3), 0)
+	m.Process(stream.Edge{User: 0, Item: 1, Op: stream.Insert})
+	m.Process(stream.Edge{User: 1, Item: 1, Op: stream.Insert})
+	m.Refresh()
+	// Pairs: (0,1), (0,2), (1,2) — all touched, each exactly once.
+	if got := m.Rescored(); got != 3 {
+		t.Errorf("rescored %d, want 3", got)
+	}
+}
+
+func TestAutomaticRefresh(t *testing.T) {
+	m, _ := New(similarity.NewExact(), watchedUsers(2), 4)
+	for i := 0; i < 4; i++ {
+		m.Process(stream.Edge{User: 0, Item: stream.Item(i), Op: stream.Insert})
+	}
+	// The 4th element triggered a refresh: one pair re-scored.
+	if got := m.Rescored(); got != 1 {
+		t.Errorf("automatic refresh re-scored %d, want 1", got)
+	}
+}
+
+func TestWithVOSEstimatorFindsPlantedPair(t *testing.T) {
+	budget := similarity.Budget{K32: 100, Users: 50, Lambda: 2}
+	est := similarity.MustNew(similarity.MethodVOS, budget, 3)
+	m, err := New(est, watchedUsers(10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Users 3 and 7: strong overlap. Everyone else: disjoint noise.
+	for _, e := range gen.PlantedPair(3, 7, 150, 150, 100, 9) {
+		m.Process(e)
+	}
+	for u := stream.User(0); u < 10; u++ {
+		if u == 3 || u == 7 {
+			continue
+		}
+		for i := 0; i < 80; i++ {
+			m.Process(stream.Edge{
+				User: u,
+				Item: stream.Item(uint64(u)*1_000_000 + uint64(i)),
+				Op:   stream.Insert,
+			})
+		}
+	}
+	top := m.Top(1)
+	if top[0].U != 3 || top[0].V != 7 {
+		t.Errorf("top pair = (%d,%d), want (3,7)", top[0].U, top[0].V)
+	}
+	if top[0].Jaccard < 0.2 {
+		t.Errorf("planted pair scored %v", top[0].Jaccard)
+	}
+}
+
+func TestWatchedCopy(t *testing.T) {
+	m, _ := New(similarity.NewExact(), watchedUsers(3), 0)
+	w := m.Watched()
+	w[0] = 99
+	if m.Watched()[0] == 99 {
+		t.Error("Watched returned internal slice")
+	}
+}

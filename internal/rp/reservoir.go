@@ -1,0 +1,132 @@
+package rp
+
+import (
+	"fmt"
+
+	"github.com/vossketch/vos/internal/hashing"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// Reservoir is the general capacity-M Random Pairing sampler of Gemulla,
+// Lehner & Haas (VLDBJ'08): a bounded uniform sample of an evolving set
+// under arbitrary insertions and deletions. The Sketch type in this
+// package runs k capacity-1 instances per user (the §III similarity
+// extension); Reservoir is the full data structure, exposed because it is
+// the substrate the paper's RP baseline cites and a useful primitive on
+// its own (e.g. sampling live edges of a dynamic graph).
+//
+// Invariant (Gemulla Theorem): after any feasible operation sequence, the
+// sample is a uniformly random subset of the current set of size
+// min(|set|, M) in expectation — conditioned on the sample size, every
+// subset of that size is equally likely.
+type Reservoir struct {
+	capacity int
+	items    []stream.Item
+	pos      map[stream.Item]int
+	n        int64  // current set size
+	c1, c2   uint64 // uncompensated deletions: in-sample / out-of-sample
+	rng      uint64 // splitmix64 state
+}
+
+// NewReservoir creates an empty sampler with the given capacity.
+func NewReservoir(capacity int, seed uint64) *Reservoir {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("rp: reservoir capacity %d must be positive", capacity))
+	}
+	return &Reservoir{
+		capacity: capacity,
+		pos:      make(map[stream.Item]int, capacity),
+		rng:      hashing.Hash64(seed, 0x5851f42d4c957f2d),
+	}
+}
+
+// Capacity returns M.
+func (r *Reservoir) Capacity() int { return r.capacity }
+
+// Len returns the current sample size.
+func (r *Reservoir) Len() int { return len(r.items) }
+
+// SetSize returns the tracked size of the underlying set.
+func (r *Reservoir) SetSize() int64 { return r.n }
+
+// Contains reports whether the item is currently sampled.
+func (r *Reservoir) Contains(i stream.Item) bool {
+	_, ok := r.pos[i]
+	return ok
+}
+
+// Sample returns a copy of the current sample in unspecified order.
+func (r *Reservoir) Sample() []stream.Item {
+	return append([]stream.Item(nil), r.items...)
+}
+
+func (r *Reservoir) coin() float64 {
+	return hashing.Float01(hashing.SplitMix64(&r.rng))
+}
+
+// Insert processes the insertion of item i (which must not currently be
+// in the set; feasibility is the caller's contract as everywhere in this
+// module).
+func (r *Reservoir) Insert(i stream.Item) {
+	r.n++
+	if r.c1+r.c2 == 0 {
+		// No deletion debt: classic reservoir step over a growing set.
+		if len(r.items) < r.capacity {
+			r.add(i)
+			return
+		}
+		if r.coin() < float64(r.capacity)/float64(r.n) {
+			r.evictRandom()
+			r.add(i)
+		}
+		return
+	}
+	// Compensation phase: this insertion is paired with one prior
+	// uncompensated deletion; it enters the sample iff that deletion
+	// came from the sample.
+	if r.coin() < float64(r.c1)/float64(r.c1+r.c2) {
+		r.add(i)
+		r.c1--
+	} else {
+		r.c2--
+	}
+}
+
+// Delete processes the deletion of item i from the set.
+func (r *Reservoir) Delete(i stream.Item) {
+	r.n--
+	if p, ok := r.pos[i]; ok {
+		last := len(r.items) - 1
+		r.items[p] = r.items[last]
+		r.pos[r.items[p]] = p
+		r.items = r.items[:last]
+		delete(r.pos, i)
+		r.c1++
+		return
+	}
+	r.c2++
+}
+
+// Apply dispatches a stream element for this sampler's set.
+func (r *Reservoir) Apply(e stream.Edge) {
+	if e.Op == stream.Insert {
+		r.Insert(e.Item)
+	} else {
+		r.Delete(e.Item)
+	}
+}
+
+func (r *Reservoir) add(i stream.Item) {
+	r.pos[i] = len(r.items)
+	r.items = append(r.items, i)
+}
+
+func (r *Reservoir) evictRandom() {
+	p := int(hashing.Reduce(hashing.SplitMix64(&r.rng), uint64(len(r.items))))
+	i := r.items[p]
+	last := len(r.items) - 1
+	r.items[p] = r.items[last]
+	r.pos[r.items[p]] = p
+	r.items = r.items[:last]
+	delete(r.pos, i)
+}

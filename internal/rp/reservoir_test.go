@@ -1,0 +1,142 @@
+package rp
+
+import (
+	"testing"
+
+	"github.com/vossketch/vos/internal/stream"
+)
+
+func TestReservoirFillsToCapacity(t *testing.T) {
+	r := NewReservoir(5, 1)
+	for i := 0; i < 20; i++ {
+		r.Insert(stream.Item(i))
+	}
+	if r.Len() != 5 || r.SetSize() != 20 || r.Capacity() != 5 {
+		t.Fatalf("len=%d n=%d cap=%d", r.Len(), r.SetSize(), r.Capacity())
+	}
+	for _, it := range r.Sample() {
+		if !r.Contains(it) {
+			t.Error("Sample/Contains inconsistent")
+		}
+		if it >= 20 {
+			t.Errorf("foreign item %d", it)
+		}
+	}
+}
+
+func TestReservoirSmallSetFullySampled(t *testing.T) {
+	r := NewReservoir(10, 2)
+	for i := 0; i < 6; i++ {
+		r.Insert(stream.Item(i))
+	}
+	if r.Len() != 6 {
+		t.Errorf("sample %d of 6 with capacity 10", r.Len())
+	}
+}
+
+func TestReservoirDeleteRemovesFromSample(t *testing.T) {
+	r := NewReservoir(3, 3)
+	for i := 0; i < 3; i++ {
+		r.Insert(stream.Item(i))
+	}
+	r.Delete(1)
+	if r.Contains(1) {
+		t.Error("deleted item still sampled")
+	}
+	if r.Len() != 2 || r.SetSize() != 2 {
+		t.Errorf("len=%d n=%d", r.Len(), r.SetSize())
+	}
+}
+
+func TestReservoirUniformityInsertOnly(t *testing.T) {
+	// Frequency of inclusion across independent samplers must be
+	// uniform: 16 items, capacity 4 -> P(include) = 1/4 each.
+	const (
+		trials = 4000
+		n      = 16
+		m      = 4
+	)
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir(m, uint64(trial))
+		for i := 0; i < n; i++ {
+			r.Insert(stream.Item(i))
+		}
+		for _, it := range r.Sample() {
+			counts[it]++
+		}
+	}
+	expected := float64(trials*m) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 45 { // df=15, far tail
+		t.Errorf("chi-square %.1f, counts %v", chi2, counts)
+	}
+}
+
+func TestReservoirUniformityAfterChurn(t *testing.T) {
+	// The RP property: after deletions AND compensating insertions, the
+	// sample is uniform over the current set. Insert [0, 20), delete
+	// [0, 10), insert [100, 110): current set = [10, 20) ∪ [100, 110).
+	const (
+		trials = 4000
+		m      = 4
+	)
+	counts := make(map[stream.Item]int)
+	sizes := 0
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir(m, uint64(trial)+99)
+		for i := 0; i < 20; i++ {
+			r.Insert(stream.Item(i))
+		}
+		for i := 0; i < 10; i++ {
+			r.Delete(stream.Item(i))
+		}
+		for i := 100; i < 110; i++ {
+			r.Insert(stream.Item(i))
+		}
+		for _, it := range r.Sample() {
+			if it < 10 {
+				t.Fatalf("deleted item %d sampled", it)
+			}
+			counts[it]++
+		}
+		sizes += r.Len()
+	}
+	// All 20 surviving items should be included at (nearly) equal rates.
+	expected := float64(sizes) / 20
+	chi2 := 0.0
+	for i := 10; i < 20; i++ {
+		d := float64(counts[stream.Item(i)]) - expected
+		chi2 += d * d / expected
+	}
+	for i := 100; i < 110; i++ {
+		d := float64(counts[stream.Item(i)]) - expected
+		chi2 += d * d / expected
+	}
+	// df=19; generous far-tail bound.
+	if chi2 > 55 {
+		t.Errorf("chi-square %.1f over survivors (old vs new items biased?)", chi2)
+	}
+}
+
+func TestReservoirApplyDispatch(t *testing.T) {
+	r := NewReservoir(2, 7)
+	r.Apply(stream.Edge{Item: 5, Op: stream.Insert})
+	r.Apply(stream.Edge{Item: 5, Op: stream.Delete})
+	if r.SetSize() != 0 || r.Len() != 0 {
+		t.Errorf("apply dispatch broken: n=%d len=%d", r.SetSize(), r.Len())
+	}
+}
+
+func TestReservoirPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 should panic")
+		}
+	}()
+	NewReservoir(0, 1)
+}

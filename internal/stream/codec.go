@@ -1,0 +1,148 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements two interchange formats for graph streams:
+//
+//   - a text format, one element per line: "<op> <user> <item>" with op in
+//     {+, -}; lines starting with '#' and blank lines are ignored. Human
+//     readable, diff-able, convenient for small fixtures.
+//   - a binary format: a magic header followed by varint-encoded elements
+//     (op bit folded into the user varint's low bit). Compact and fast,
+//     used by cmd/streamgen for multi-million-edge workloads.
+
+// WriteText writes edges in the text format.
+func WriteText(w io.Writer, edges []Edge) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%s %d %d\n", e.Op, uint64(e.User), uint64(e.Item)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format. Malformed lines produce an error that
+// names the line number.
+func ReadText(r io.Reader) ([]Edge, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var out []Edge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("stream: line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		var op Op
+		switch fields[0] {
+		case "+":
+			op = Insert
+		case "-":
+			op = Delete
+		default:
+			return nil, fmt.Errorf("stream: line %d: bad op %q", lineNo, fields[0])
+		}
+		u, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stream: line %d: bad user: %v", lineNo, err)
+		}
+		i, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stream: line %d: bad item: %v", lineNo, err)
+		}
+		out = append(out, Edge{User: User(u), Item: Item(i), Op: op})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+var binaryMagic = [8]byte{'V', 'O', 'S', 'S', 'T', 'R', 'M', '1'}
+
+// ErrBadFormat reports a malformed binary stream file.
+var ErrBadFormat = errors.New("stream: bad binary format")
+
+// WriteBinary writes edges in the binary format: magic, element count, then
+// per element two varints — (user<<1 | opBit) and item.
+func WriteBinary(w io.Writer, edges []Edge) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(edges)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	for _, e := range edges {
+		opBit := uint64(0)
+		if e.Op == Delete {
+			opBit = 1
+		}
+		n = binary.PutUvarint(buf[:], uint64(e.User)<<1|opBit)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		n = binary.PutUvarint(buf[:], uint64(e.Item))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format.
+func ReadBinary(r io.Reader) ([]Edge, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("%w: wrong magic", ErrBadFormat)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrBadFormat, err)
+	}
+	const sanityCap = 1 << 31
+	if count > sanityCap {
+		return nil, fmt.Errorf("%w: implausible element count %d", ErrBadFormat, count)
+	}
+	out := make([]Edge, 0, count)
+	for idx := uint64(0); idx < count; idx++ {
+		uo, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: element %d user: %v", ErrBadFormat, idx, err)
+		}
+		it, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: element %d item: %v", ErrBadFormat, idx, err)
+		}
+		op := Insert
+		if uo&1 == 1 {
+			op = Delete
+		}
+		out = append(out, Edge{User: User(uo >> 1), Item: Item(it), Op: op})
+	}
+	// Trailing garbage means the file was not produced by WriteBinary.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after %d elements", ErrBadFormat, count)
+	}
+	return out, nil
+}

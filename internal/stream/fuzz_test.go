@@ -1,0 +1,64 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinary exercises the binary decoder with arbitrary input: it
+// must never panic, and everything it accepts must round-trip.
+func FuzzReadBinary(f *testing.F) {
+	var seedBuf bytes.Buffer
+	_ = WriteBinary(&seedBuf, []Edge{{1, 2, Insert}, {3, 4, Delete}})
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("VOSSTRM1garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edges, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, edges); err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		again, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(edges) {
+			t.Fatalf("round trip changed length %d -> %d", len(edges), len(again))
+		}
+		for i := range edges {
+			if edges[i] != again[i] {
+				t.Fatalf("round trip changed element %d", i)
+			}
+		}
+	})
+}
+
+// FuzzReadText does the same for the text decoder.
+func FuzzReadText(f *testing.F) {
+	f.Add("+ 1 2\n- 1 2\n")
+	f.Add("# comment\n\n+ 0 0\n")
+	f.Add("not a stream")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		edges, err := ReadText(bytes.NewReader([]byte(data)))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteText(&out, edges); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := ReadText(&out)
+		if err != nil {
+			t.Fatalf("re-decode of canonical form failed: %v", err)
+		}
+		if len(again) != len(edges) {
+			t.Fatalf("round trip changed length")
+		}
+	})
+}

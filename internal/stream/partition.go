@@ -1,0 +1,58 @@
+package stream
+
+import (
+	"fmt"
+
+	"github.com/vossketch/vos/internal/hashing"
+)
+
+// PartitionByUser splits a stream into n shards by hashing the user ID,
+// preserving each shard's internal order. Because all of a user's
+// elements land in the same shard, every shard is itself a feasible
+// stream whenever the input is, and sketches with user-keyed state
+// (MinHash registers, RP samplers, cardinality counters) can be built
+// per shard and combined.
+//
+// For VOS specifically any partition works — its merge is XOR-exact
+// regardless of how edges are split (see core.VOS.Merge) — but user
+// partitioning is the safe default for every method in this module.
+func PartitionByUser(edges []Edge, n int, seed uint64) [][]Edge {
+	if n <= 0 {
+		panic(fmt.Sprintf("stream: shard count %d must be positive", n))
+	}
+	shards := make([][]Edge, n)
+	for _, e := range edges {
+		s := hashing.HashToRange(uint64(e.User), seed, uint64(n))
+		shards[s] = append(shards[s], e)
+	}
+	return shards
+}
+
+// RoundRobin splits a stream into n shards element by element. Shards are
+// NOT feasibility-preserving per user (a user's insert and delete can land
+// in different shards); use it only with order-insensitive, partition-
+// exact sketches such as VOS.
+func RoundRobin(edges []Edge, n int) [][]Edge {
+	if n <= 0 {
+		panic(fmt.Sprintf("stream: shard count %d must be positive", n))
+	}
+	shards := make([][]Edge, n)
+	for i, e := range edges {
+		shards[i%n] = append(shards[i%n], e)
+	}
+	return shards
+}
+
+// Concat joins shards back into one stream, in shard order. Together with
+// PartitionByUser it is a (reordered) permutation of the original stream.
+func Concat(shards [][]Edge) []Edge {
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	out := make([]Edge, 0, total)
+	for _, s := range shards {
+		out = append(out, s...)
+	}
+	return out
+}

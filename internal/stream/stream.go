@@ -1,0 +1,187 @@
+// Package stream defines the fully dynamic bipartite graph-stream model of
+// the paper: a sequence of elements (u, i, a) where u is a user, i an item,
+// and a ∈ {insert, delete} a subscription or unsubscription.
+//
+// The package provides the element and source types shared by every sketch
+// and every experiment, a feasibility validator (the paper restricts
+// attention to feasible streams: no duplicate subscriptions, no deletion of
+// absent edges), stream statistics, and text/binary codecs so generated
+// workloads can be persisted and replayed.
+package stream
+
+import (
+	"fmt"
+)
+
+// User identifies a user node of the bipartite graph.
+type User uint64
+
+// Item identifies an item node of the bipartite graph.
+type Item uint64
+
+// Op is an edge action: subscription or unsubscription.
+type Op uint8
+
+const (
+	// Insert is the "+" action: user subscribes to item.
+	Insert Op = iota
+	// Delete is the "−" action: user unsubscribes from item.
+	Delete
+)
+
+// String returns the paper's notation for the action.
+func (op Op) String() string {
+	switch op {
+	case Insert:
+		return "+"
+	case Delete:
+		return "-"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(op))
+	}
+}
+
+// Valid reports whether op is a defined action.
+func (op Op) Valid() bool { return op == Insert || op == Delete }
+
+// Edge is one stream element e(t) = (u, i, a).
+type Edge struct {
+	User User
+	Item Item
+	Op   Op
+}
+
+// String renders the element in the paper's (u, i, ±) notation.
+func (e Edge) String() string {
+	return fmt.Sprintf("(%d, %d, %s)", e.User, e.Item, e.Op)
+}
+
+// Source is a pull-based stream of edges. Next returns the next element and
+// true, or a zero Edge and false when the stream is exhausted. Sources are
+// single-pass unless documented otherwise.
+type Source interface {
+	Next() (Edge, bool)
+}
+
+// SliceSource replays a fixed slice of edges. It is resettable, making it
+// suitable for multi-method comparisons that must consume the identical
+// stream.
+type SliceSource struct {
+	edges []Edge
+	pos   int
+}
+
+// NewSliceSource wraps edges in a Source. The slice is not copied.
+func NewSliceSource(edges []Edge) *SliceSource {
+	return &SliceSource{edges: edges}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Edge, bool) {
+	if s.pos >= len(s.edges) {
+		return Edge{}, false
+	}
+	e := s.edges[s.pos]
+	s.pos++
+	return e, true
+}
+
+// Reset rewinds the source to the beginning.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Len returns the total number of elements.
+func (s *SliceSource) Len() int { return len(s.edges) }
+
+// FuncSource adapts a closure to the Source interface.
+type FuncSource func() (Edge, bool)
+
+// Next implements Source.
+func (f FuncSource) Next() (Edge, bool) { return f() }
+
+// Collect drains a source into a slice. Useful for tests and for staging
+// generated streams before persisting them.
+func Collect(s Source) []Edge {
+	var out []Edge
+	for {
+		e, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}
+
+// CollectN drains at most n elements from a source.
+func CollectN(s Source, n int) []Edge {
+	out := make([]Edge, 0, n)
+	for len(out) < n {
+		e, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// ForEach applies fn to every element of the source.
+func ForEach(s Source, fn func(Edge)) {
+	for {
+		e, ok := s.Next()
+		if !ok {
+			return
+		}
+		fn(e)
+	}
+}
+
+// Stats accumulates summary statistics of a stream: element counts by
+// action and the set of distinct users and items observed. It is itself a
+// streaming structure — feed it edges with Observe.
+type Stats struct {
+	Inserts  uint64
+	Deletes  uint64
+	users    map[User]struct{}
+	items    map[Item]struct{}
+	liveEdge int64 // inserts - deletes, the number of live edges if feasible
+}
+
+// NewStats creates an empty statistics accumulator.
+func NewStats() *Stats {
+	return &Stats{
+		users: make(map[User]struct{}),
+		items: make(map[Item]struct{}),
+	}
+}
+
+// Observe folds one element into the statistics.
+func (st *Stats) Observe(e Edge) {
+	if e.Op == Insert {
+		st.Inserts++
+		st.liveEdge++
+	} else {
+		st.Deletes++
+		st.liveEdge--
+	}
+	st.users[e.User] = struct{}{}
+	st.items[e.Item] = struct{}{}
+}
+
+// Elements returns the total number of observed stream elements.
+func (st *Stats) Elements() uint64 { return st.Inserts + st.Deletes }
+
+// Users returns the number of distinct users observed.
+func (st *Stats) Users() int { return len(st.users) }
+
+// Items returns the number of distinct items observed.
+func (st *Stats) Items() int { return len(st.items) }
+
+// LiveEdges returns inserts minus deletes; for a feasible stream this is the
+// number of edges currently present in the graph.
+func (st *Stats) LiveEdges() int64 { return st.liveEdge }
+
+// String summarises the statistics.
+func (st *Stats) String() string {
+	return fmt.Sprintf("elements=%d (+%d/−%d) users=%d items=%d live=%d",
+		st.Elements(), st.Inserts, st.Deletes, st.Users(), st.Items(), st.liveEdge)
+}

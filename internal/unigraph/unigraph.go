@@ -1,0 +1,132 @@
+// Package unigraph implements the extension the paper claims in §II:
+// "we focus on bipartite graphs, while our method can be easily extended
+// to regular graphs". In a regular (unipartite) graph stream, elements are
+// user-user edges (u, v, ±) — follows/unfollows between members — and the
+// similarity of interest is the Jaccard coefficient of the two users'
+// *neighbor sets*:
+//
+//	J(N(u), N(v)) = |N(u) ∩ N(v)| / |N(u) ∪ N(v)|,
+//
+// the standard structural-equivalence signal (people who follow the same
+// accounts). The reduction to the bipartite sketch is exactly the one the
+// paper gestures at: each undirected edge (u, v) is two subscriptions —
+// user u subscribes to "item" v and user v subscribes to "item" u — so one
+// graph element becomes two O(1) VOS updates and everything else (queries,
+// estimators, β-correction, merging) carries over unchanged.
+//
+// For directed graphs, construct with Directed(true): an edge (u, v) is
+// then only u subscribing to v, and similarity compares out-neighborhoods.
+package unigraph
+
+import (
+	"fmt"
+
+	"github.com/vossketch/vos/internal/core"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// Edge is one regular-graph stream element: an edge appearing or
+// disappearing between two users.
+type Edge struct {
+	U, V stream.User
+	Op   stream.Op
+}
+
+// String renders the element.
+func (e Edge) String() string {
+	return fmt.Sprintf("(%d–%d, %s)", e.U, e.V, e.Op)
+}
+
+// Sketch estimates neighbor-set similarities over a fully dynamic regular
+// graph stream, backed by a VOS sketch under the two-subscription
+// reduction.
+type Sketch struct {
+	vos      *core.VOS
+	directed bool
+}
+
+// Config re-exports the underlying VOS configuration.
+type Config = core.Config
+
+// New creates an undirected regular-graph sketch.
+func New(cfg Config) (*Sketch, error) {
+	v, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch{vos: v}, nil
+}
+
+// NewDirected creates a sketch over a directed graph: edge (u, v) adds v
+// to u's out-neighborhood only.
+func NewDirected(cfg Config) (*Sketch, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.directed = true
+	return s, nil
+}
+
+// Directed reports the edge interpretation.
+func (s *Sketch) Directed() bool { return s.directed }
+
+// Process folds one graph element into the sketch: one VOS update for the
+// directed case, two for the undirected case. Self-loops are rejected
+// (a user cannot neighbor itself in this model).
+func (s *Sketch) Process(e Edge) error {
+	if e.U == e.V {
+		return fmt.Errorf("unigraph: self-loop %s", e)
+	}
+	if !e.Op.Valid() {
+		return fmt.Errorf("unigraph: invalid op in %s", e)
+	}
+	s.vos.Process(stream.Edge{User: e.U, Item: stream.Item(e.V), Op: e.Op})
+	if !s.directed {
+		s.vos.Process(stream.Edge{User: e.V, Item: stream.Item(e.U), Op: e.Op})
+	}
+	return nil
+}
+
+// MustProcess panics on invalid elements (for feasible-by-construction
+// simulations).
+func (s *Sketch) MustProcess(e Edge) {
+	if err := s.Process(e); err != nil {
+		panic(err)
+	}
+}
+
+// Degree returns the tracked |N(u)| (out-degree when directed).
+func (s *Sketch) Degree(u stream.User) int64 { return s.vos.Cardinality(u) }
+
+// Query estimates the neighbor-set similarity of users u and v: common
+// neighbors and the Jaccard coefficient of their neighborhoods.
+//
+// Note that in the undirected case an edge (u, v) puts v in N(u) but not
+// u itself, so adjacent users are not automatically similar — exactly the
+// structural-equivalence semantics.
+func (s *Sketch) Query(u, v stream.User) core.Estimate {
+	return s.vos.Query(u, v)
+}
+
+// EstimateCommonNeighbors returns the estimated |N(u) ∩ N(v)|.
+func (s *Sketch) EstimateCommonNeighbors(u, v stream.User) float64 {
+	return s.vos.EstimateCommonItems(u, v)
+}
+
+// EstimateJaccard returns the estimated J(N(u), N(v)).
+func (s *Sketch) EstimateJaccard(u, v stream.User) float64 {
+	return s.vos.EstimateJaccard(u, v)
+}
+
+// Beta exposes the underlying array load.
+func (s *Sketch) Beta() float64 { return s.vos.Beta() }
+
+// Merge combines a shard built with an identical Config (see
+// core.VOS.Merge; the reduction preserves exact mergeability).
+func (s *Sketch) Merge(other *Sketch) error {
+	if s.directed != other.directed {
+		return fmt.Errorf("unigraph: cannot merge directed with undirected sketch")
+	}
+	return s.vos.Merge(other.vos)
+}

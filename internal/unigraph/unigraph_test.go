@@ -1,0 +1,163 @@
+package unigraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/vossketch/vos/internal/stream"
+)
+
+func testConfig() Config {
+	return Config{MemoryBits: 1 << 20, SketchBits: 2048, Seed: 5}
+}
+
+func TestProcessValidation(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Process(Edge{U: 1, V: 1, Op: stream.Insert}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := s.Process(Edge{U: 1, V: 2, Op: stream.Op(9)}); err == nil {
+		t.Error("invalid op accepted")
+	}
+	if err := s.Process(Edge{U: 1, V: 2, Op: stream.Insert}); err != nil {
+		t.Errorf("valid edge rejected: %v", err)
+	}
+}
+
+func TestUndirectedDegrees(t *testing.T) {
+	s, _ := New(testConfig())
+	s.MustProcess(Edge{U: 1, V: 2, Op: stream.Insert})
+	s.MustProcess(Edge{U: 1, V: 3, Op: stream.Insert})
+	if s.Degree(1) != 2 || s.Degree(2) != 1 || s.Degree(3) != 1 {
+		t.Errorf("degrees %d/%d/%d", s.Degree(1), s.Degree(2), s.Degree(3))
+	}
+	s.MustProcess(Edge{U: 1, V: 2, Op: stream.Delete})
+	if s.Degree(1) != 1 || s.Degree(2) != 0 {
+		t.Errorf("after unfollow: %d/%d", s.Degree(1), s.Degree(2))
+	}
+	if s.Directed() {
+		t.Error("New should build undirected")
+	}
+}
+
+func TestDirectedDegrees(t *testing.T) {
+	s, _ := NewDirected(testConfig())
+	s.MustProcess(Edge{U: 1, V: 2, Op: stream.Insert})
+	if s.Degree(1) != 1 || s.Degree(2) != 0 {
+		t.Errorf("directed degrees %d/%d", s.Degree(1), s.Degree(2))
+	}
+	if !s.Directed() {
+		t.Error("Directed() false")
+	}
+}
+
+func TestCommonNeighborsAccuracy(t *testing.T) {
+	// Users 1 and 2 share 80 neighbors (IDs 100-179); user 1 has 40
+	// private neighbors, user 2 has 20.
+	s, _ := New(testConfig())
+	for i := stream.User(100); i < 180; i++ {
+		s.MustProcess(Edge{U: 1, V: i, Op: stream.Insert})
+		s.MustProcess(Edge{U: 2, V: i, Op: stream.Insert})
+	}
+	for i := stream.User(1000); i < 1040; i++ {
+		s.MustProcess(Edge{U: 1, V: i, Op: stream.Insert})
+	}
+	for i := stream.User(2000); i < 2020; i++ {
+		s.MustProcess(Edge{U: 2, V: i, Op: stream.Insert})
+	}
+	est := s.Query(1, 2)
+	if math.Abs(est.Common-80) > 20 {
+		t.Errorf("common neighbors ≈ %.1f, want ~80", est.Common)
+	}
+	trueJ := 80.0 / 140.0
+	if math.Abs(est.Jaccard-trueJ) > 0.12 {
+		t.Errorf("J ≈ %.3f, want ~%.3f", est.Jaccard, trueJ)
+	}
+	if got := s.EstimateCommonNeighbors(1, 2); got != est.Common {
+		t.Error("EstimateCommonNeighbors inconsistent with Query")
+	}
+	if got := s.EstimateJaccard(1, 2); got != est.Jaccard {
+		t.Error("EstimateJaccard inconsistent with Query")
+	}
+}
+
+func TestAdjacentUsersNotAutomaticallySimilar(t *testing.T) {
+	// A single edge (1, 2): N(1) = {2}, N(2) = {1} — disjoint sets.
+	s, _ := New(testConfig())
+	s.MustProcess(Edge{U: 1, V: 2, Op: stream.Insert})
+	if got := s.EstimateJaccard(1, 2); got > 0.2 {
+		t.Errorf("adjacent-only users scored J = %v", got)
+	}
+}
+
+func TestUnfollowExactCancellation(t *testing.T) {
+	cfg := testConfig()
+	a, _ := New(cfg)
+	b, _ := New(cfg)
+	edges := []Edge{
+		{U: 1, V: 2, Op: stream.Insert},
+		{U: 1, V: 3, Op: stream.Insert},
+		{U: 2, V: 3, Op: stream.Insert},
+	}
+	for _, e := range edges {
+		a.MustProcess(e)
+		b.MustProcess(e)
+	}
+	// b additionally gains and loses 100 transient edges.
+	for i := stream.User(500); i < 600; i++ {
+		b.MustProcess(Edge{U: 7, V: i, Op: stream.Insert})
+	}
+	for i := stream.User(500); i < 600; i++ {
+		b.MustProcess(Edge{U: 7, V: i, Op: stream.Delete})
+	}
+	qa, qb := a.Query(1, 2), b.Query(1, 2)
+	if qa != qb {
+		t.Errorf("churn changed state: %+v vs %+v", qa, qb)
+	}
+	if b.Degree(7) != 0 {
+		t.Errorf("degree 7 = %d after full churn", b.Degree(7))
+	}
+}
+
+func TestMergeShards(t *testing.T) {
+	cfg := testConfig()
+	full, _ := New(cfg)
+	s1, _ := New(cfg)
+	s2, _ := New(cfg)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 500; i++ {
+		e := Edge{
+			U:  stream.User(rng.Intn(50)),
+			V:  stream.User(50 + rng.Intn(1000)),
+			Op: stream.Insert,
+		}
+		full.MustProcess(e)
+		if i%2 == 0 {
+			s1.MustProcess(e)
+		} else {
+			s2.MustProcess(e)
+		}
+	}
+	if err := s1.Merge(s2); err != nil {
+		t.Fatal(err)
+	}
+	if full.Query(0, 1) != s1.Query(0, 1) {
+		t.Error("merged query differs from sequential")
+	}
+	// Directedness mismatch rejected.
+	d, _ := NewDirected(cfg)
+	if err := s1.Merge(d); err == nil {
+		t.Error("directed/undirected merge accepted")
+	}
+}
+
+func TestEdgeString(t *testing.T) {
+	e := Edge{U: 3, V: 4, Op: stream.Delete}
+	if e.String() != "(3–4, -)" {
+		t.Errorf("String() = %q", e.String())
+	}
+}

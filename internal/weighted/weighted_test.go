@@ -1,0 +1,193 @@
+package weighted
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactJaccard(t *testing.T) {
+	x := Vector{1: 2.0, 2: 1.0}
+	y := Vector{1: 1.0, 3: 3.0}
+	// min: min(2,1)=1 on elem 1. max: max(2,1)=2 + 1 (elem 2) + 3 (elem 3) = 6.
+	if got, want := Jaccard(x, y), 1.0/6.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("J = %v, want %v", got, want)
+	}
+	if Jaccard(Vector{}, Vector{}) != 0 {
+		t.Error("empty-empty should be 0")
+	}
+	if Jaccard(x, x) != 1 {
+		t.Error("self similarity should be 1")
+	}
+}
+
+func TestJaccardSymmetricProperty(t *testing.T) {
+	// Weights are folded into (0, 1e6] — the sums in Jaccard must not
+	// overflow, which is part of the documented contract (finite sums).
+	tame := func(w float64) (float64, bool) {
+		w = math.Abs(w)
+		if w == 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+			return 0, false
+		}
+		return math.Mod(w, 1e6) + 0.001, true
+	}
+	err := quick.Check(func(keys []uint8, wsA, wsB []float64) bool {
+		x, y := Vector{}, Vector{}
+		for i, k := range keys {
+			if i < len(wsA) {
+				if w, ok := tame(wsA[i]); ok {
+					x[uint64(k)] = w
+				}
+			}
+			if i < len(wsB) {
+				if w, ok := tame(wsB[i]); ok {
+					y[uint64(k)] = w
+				}
+			}
+		}
+		a, b := Jaccard(x, y), Jaccard(y, x)
+		return math.Abs(a-b) < 1e-9 && a >= 0 && a <= 1+1e-12
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignatureValidation(t *testing.T) {
+	if _, err := NewSignature(Vector{1: 1}, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewSignature(Vector{}, 8, 1); err == nil {
+		t.Error("empty vector accepted")
+	}
+	if _, err := NewSignature(Vector{1: -1}, 8, 1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewSignature(Vector{1: 0}, 8, 1); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewSignature(Vector{1: math.NaN()}, 8, 1); err == nil {
+		t.Error("NaN weight accepted")
+	}
+}
+
+func TestSignatureDeterministic(t *testing.T) {
+	v := Vector{1: 0.5, 2: 3.0, 9: 1.25}
+	a, err := NewSignature(v, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewSignature(v, 32, 7)
+	for j := 0; j < 32; j++ {
+		if a.Sample(j) != b.Sample(j) {
+			t.Fatal("signature not deterministic")
+		}
+	}
+	if a.EstimateJaccard(b) != 1 {
+		t.Error("identical vectors should match on every sample")
+	}
+}
+
+func TestEstimateMatchesExact(t *testing.T) {
+	// Random sparse weight vectors; the k-sample estimate should agree
+	// with the exact generalized Jaccard within binomial noise.
+	const k = 2048
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		x, y := Vector{}, Vector{}
+		for i := uint64(0); i < 60; i++ {
+			if rng.Float64() < 0.7 {
+				x[i] = rng.Float64()*4 + 0.1
+			}
+			if rng.Float64() < 0.7 {
+				y[i] = rng.Float64()*4 + 0.1
+			}
+		}
+		exact := Jaccard(x, y)
+		sa, err := NewSignature(x, k, uint64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := NewSignature(y, k, uint64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sa.EstimateJaccard(sb)
+		// 4σ binomial tolerance.
+		tol := 4 * math.Sqrt(exact*(1-exact)/k)
+		if tol < 0.02 {
+			tol = 0.02
+		}
+		if math.Abs(got-exact) > tol {
+			t.Errorf("trial %d: estimate %.4f, exact %.4f (tol %.4f)", trial, got, exact, tol)
+		}
+	}
+}
+
+func TestBinaryWeightsReduceToSetJaccard(t *testing.T) {
+	// With all weights 1, generalized Jaccard equals set Jaccard.
+	x := Vector{}
+	y := Vector{}
+	for i := uint64(0); i < 100; i++ {
+		x[i] = 1
+	}
+	for i := uint64(50); i < 150; i++ {
+		y[i] = 1
+	}
+	want := 50.0 / 150.0
+	if got := Jaccard(x, y); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("exact binary J = %v, want %v", got, want)
+	}
+	sa, _ := NewSignature(x, 4096, 3)
+	sb, _ := NewSignature(y, 4096, 3)
+	if got := sa.EstimateJaccard(sb); math.Abs(got-want) > 0.035 {
+		t.Errorf("estimated binary J = %v, want ~%v", got, want)
+	}
+}
+
+func TestScaleSensitivity(t *testing.T) {
+	// Generalized Jaccard is NOT scale-invariant: doubling one vector's
+	// weights halves the similarity of identical vectors. The estimator
+	// must track that.
+	x := Vector{1: 1, 2: 1, 3: 1}
+	y := Vector{1: 2, 2: 2, 3: 2}
+	want := 0.5
+	if got := Jaccard(x, y); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("exact J = %v, want %v", got, want)
+	}
+	sa, _ := NewSignature(x, 4096, 9)
+	sb, _ := NewSignature(y, 4096, 9)
+	if got := sa.EstimateJaccard(sb); math.Abs(got-want) > 0.04 {
+		t.Errorf("estimated J = %v, want ~%v", got, want)
+	}
+}
+
+func TestIncompatibleSignaturesPanic(t *testing.T) {
+	a, _ := NewSignature(Vector{1: 1}, 8, 1)
+	b, _ := NewSignature(Vector{1: 1}, 8, 2)
+	c, _ := NewSignature(Vector{1: 1}, 16, 1)
+	for name, other := range map[string]*Signature{"seed": b, "k": c} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s mismatch: expected panic", name)
+				}
+			}()
+			a.EstimateJaccard(other)
+		}()
+	}
+}
+
+func BenchmarkSignature(b *testing.B) {
+	v := Vector{}
+	for i := uint64(0); i < 100; i++ {
+		v[i] = float64(i%7) + 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSignature(v, 64, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package vos
+
+import (
+	"github.com/vossketch/vos/internal/pairmon"
+)
+
+// ScoredPair is one ranked user pair from a PairMonitor.
+type ScoredPair = pairmon.ScoredPair
+
+// PairMonitor maintains the top-K most similar pairs within a watched user
+// set over the stream — the paper title's "mining user similarities" loop
+// as a component. It wraps any Estimator and re-scores only pairs touched
+// since the last refresh. See internal/pairmon for the maintenance model.
+type PairMonitor = pairmon.Monitor
+
+// NewPairMonitor creates a monitor over the watched users (≥ 2, distinct)
+// backed by the given estimator. refreshEvery > 0 re-scores dirty pairs
+// automatically every that many processed elements; 0 refreshes only on
+// Top/Refresh calls.
+func NewPairMonitor(est Estimator, watched []User, refreshEvery int) (*PairMonitor, error) {
+	return pairmon.New(est, watched, refreshEvery)
+}

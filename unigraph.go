@@ -1,0 +1,24 @@
+package vos
+
+import "github.com/vossketch/vos/internal/unigraph"
+
+// NeighborSketch estimates neighbor-set similarities over fully dynamic
+// REGULAR (unipartite) graph streams — edges between users, appearing and
+// disappearing — via the paper's §II reduction: an undirected edge (u, v)
+// is two subscriptions, u→v and v→u. Queries compare out-neighborhoods.
+type NeighborSketch = unigraph.Sketch
+
+// GraphEdge is one regular-graph stream element.
+type GraphEdge = unigraph.Edge
+
+// NewNeighborSketch creates an undirected regular-graph sketch; one graph
+// element costs two O(1) VOS updates.
+func NewNeighborSketch(cfg Config) (*NeighborSketch, error) {
+	return unigraph.New(cfg)
+}
+
+// NewDirectedNeighborSketch creates the directed variant: edge (u, v) adds
+// v to u's out-neighborhood only.
+func NewDirectedNeighborSketch(cfg Config) (*NeighborSketch, error) {
+	return unigraph.NewDirected(cfg)
+}

@@ -1,0 +1,113 @@
+// Package vos implements VOS (virtual odd sketch), a fast, memory-compact
+// sketch for estimating user similarities — common-item counts and Jaccard
+// coefficients — over fully dynamic bipartite graph streams, i.e. streams
+// of subscriptions AND unsubscriptions.
+//
+// It is a from-scratch Go reproduction of:
+//
+//	Peng Jia, Pinghui Wang, Jing Tao, Xiaohong Guan.
+//	"A Fast Sketch Method for Mining User Similarities over Fully
+//	Dynamic Graph Streams." ICDE 2019 (arXiv:1901.00650).
+//
+// # Why VOS
+//
+// Classic similarity sketches (MinHash, one permutation hashing) are
+// sampling methods: they keep the minimum-hash item per register. A
+// deletion of that minimum cannot be undone without the full set, so under
+// unsubscriptions the samples drift from uniform and estimates become
+// biased. VOS instead maintains the parity (odd sketch) of each user's
+// item set: insert and delete are the same XOR toggle and cancel exactly,
+// so the sketch state depends only on the current set — deletions are
+// free. Per-user sketches are stored virtually in one shared bit array,
+// and queries correct for the resulting contamination using the array's
+// global load β.
+//
+// Processing an element is O(1); querying a pair is O(k) for a virtual
+// sketch of k bits.
+//
+// # Quick start
+//
+//	sk := vos.MustNew(vos.Config{MemoryBits: 1 << 22, SketchBits: 4096, Seed: 1})
+//	sk.Process(vos.Edge{User: alice, Item: video1, Op: vos.Insert})
+//	sk.Process(vos.Edge{User: bob, Item: video1, Op: vos.Insert})
+//	sk.Process(vos.Edge{User: alice, Item: video1, Op: vos.Delete}) // unsubscribe
+//	est := sk.Query(alice, bob)
+//	fmt.Println(est.Common, est.Jaccard)
+//
+// See examples/ for complete programs and DESIGN.md / EXPERIMENTS.md for
+// the reproduction methodology.
+package vos
+
+import (
+	"github.com/vossketch/vos/internal/core"
+	"github.com/vossketch/vos/internal/hashing"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// User identifies a user (left node) of the bipartite graph.
+type User = stream.User
+
+// Item identifies an item (right node) of the bipartite graph.
+type Item = stream.Item
+
+// Op is a stream action: Insert (subscribe) or Delete (unsubscribe).
+type Op = stream.Op
+
+// Stream actions.
+const (
+	// Insert is the "+" action: user subscribes to item.
+	Insert = stream.Insert
+	// Delete is the "−" action: user unsubscribes from item.
+	Delete = stream.Delete
+)
+
+// Edge is one stream element (u, i, a).
+type Edge = stream.Edge
+
+// Sketch is the VOS sketch. See the package documentation for the model
+// and core.VOS for implementation details. Not safe for concurrent use;
+// see NewConcurrent.
+type Sketch = core.VOS
+
+// Config parameterises a Sketch: total shared memory m in bits, virtual
+// per-user sketch size k in bits, and a seed.
+type Config = core.Config
+
+// Estimate bundles the outputs of a similarity query: the common-item
+// estimate (raw and clamped), the Jaccard estimate, the symmetric
+// difference, and the internal α/β diagnostics.
+type Estimate = core.Estimate
+
+// Stats summarises sketch state (array load β, memory, user count).
+type Stats = core.Stats
+
+// New creates a VOS sketch. MemoryBits and SketchBits must be positive
+// with SketchBits ≤ MemoryBits.
+func New(cfg Config) (*Sketch, error) { return core.New(cfg) }
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(cfg Config) *Sketch { return core.MustNew(cfg) }
+
+// PaperConfig builds the paper's §V memory-equalised configuration: the
+// budget a 32-bit-register baseline would spend on numUsers users with
+// k32 registers each (m = 32·k32·numUsers bits), with a virtual sketch of
+// lambda·32·k32 bits (the paper uses lambda = 2).
+func PaperConfig(numUsers, k32, lambda int, seed uint64) Config {
+	return core.PaperConfig(numUsers, k32, lambda, seed)
+}
+
+// Unmarshal decodes a sketch serialized with Sketch.MarshalBinary.
+func Unmarshal(data []byte) (*Sketch, error) { return core.UnmarshalVOS(data) }
+
+// UserFromString maps an external string identifier (a username, URL, …)
+// into the User key space with a fixed hash, so string-keyed applications
+// can use the sketches directly. The mapping is stable across processes.
+func UserFromString(s string) User {
+	return User(hashing.HashString(s, 0x75736572734b6579))
+}
+
+// ItemFromString maps an external string identifier into the Item key
+// space; see UserFromString.
+func ItemFromString(s string) Item {
+	return Item(hashing.HashString(s, 0x6974656d734b6579))
+}
