@@ -7,9 +7,16 @@
 //
 //	vosbench -experiment fig3a
 //	vosbench -experiment all -scale 0.02 -csv
+//	vosbench -experiment throughput -shards 1,2,4,8
 //
 // Experiments: fig2a, fig2b, fig3a, fig3b, fig3c, fig3d, abl-lambda,
-// abl-load, abl-dense, abl-delbias, compare, all.
+// abl-load, abl-dense, abl-delbias, compare, throughput, all.
+//
+// The throughput experiment measures the sharded ingestion engine: for
+// each shard count it ingests the runtime workload through vos.Engine,
+// reports edges/s and the speedup over both the sequential sketch and the
+// single-shard engine, and verifies the engine's post-flush estimates are
+// bit-identical to the sequential sketch (VOS merging is exact).
 package main
 
 import (
@@ -25,7 +32,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (fig2a fig2b fig3a fig3b fig3c fig3d abl-lambda abl-load abl-dense abl-delbias compare all)")
+		experiment = flag.String("experiment", "all", "experiment id (fig2a fig2b fig3a fig3b fig3c fig3d abl-lambda abl-load abl-dense abl-delbias compare throughput all)")
 		scale      = flag.Float64("scale", 0.01, "dataset profile scale factor (paper scale = 1.0)")
 		seed       = flag.Int64("seed", 2, "workload seed")
 		k32        = flag.Int("k", 100, "registers per user for the baselines (paper: 100)")
@@ -35,12 +42,13 @@ func main() {
 		checks     = flag.Int("checkpoints", 12, "measurement points for over-time panels")
 		runtimeKs  = flag.String("runtime-ks", "1,10,100,1000,10000", "comma-separated k sweep for fig2")
 		dataset    = flag.String("dataset", "YouTube", "profile for single-dataset experiments (YouTube, Flickr, Orkut, LiveJournal)")
+		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -experiment throughput")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		outdir     = flag.String("outdir", "", "also write each table as <outdir>/<id>.csv")
 	)
 	flag.Parse()
 
-	ks, err := parseKs(*runtimeKs)
+	ks, err := parseIntList(*runtimeKs, "-runtime-ks")
 	if err != nil {
 		fatal(err)
 	}
@@ -56,7 +64,12 @@ func main() {
 		RuntimeKs:   ks,
 	}
 
-	tables, err := run(*experiment, opts)
+	shardCounts, err := parseIntList(*shards, "-shards")
+	if err != nil {
+		fatal(err)
+	}
+
+	tables, err := runWithShards(*experiment, opts, shardCounts)
 	if err != nil {
 		fatal(err)
 	}
@@ -91,6 +104,16 @@ func writeCSV(dir string, t *experiments.Table) error {
 		return err
 	}
 	return f.Close()
+}
+
+// runWithShards dispatches experiments that need the shard-count sweep and
+// delegates everything else to run.
+func runWithShards(id string, opts experiments.Options, shardCounts []int) ([]*experiments.Table, error) {
+	if id == "throughput" {
+		t, err := experiments.Throughput(opts, shardCounts)
+		return one(t, err)
+	}
+	return run(id, opts)
 }
 
 func run(id string, opts experiments.Options) ([]*experiments.Table, error) {
@@ -172,7 +195,9 @@ func one(t *experiments.Table, err error) ([]*experiments.Table, error) {
 	return []*experiments.Table{t}, nil
 }
 
-func parseKs(s string) ([]int, error) {
+// parseIntList parses a comma-separated list of positive integers, naming
+// the offending flag in errors.
+func parseIntList(s, flagName string) ([]int, error) {
 	parts := strings.Split(s, ",")
 	out := make([]int, 0, len(parts))
 	for _, p := range parts {
@@ -182,12 +207,12 @@ func parseKs(s string) ([]int, error) {
 		}
 		k, err := strconv.Atoi(p)
 		if err != nil || k <= 0 {
-			return nil, fmt.Errorf("vosbench: bad k %q in -runtime-ks", p)
+			return nil, fmt.Errorf("vosbench: bad value %q in %s", p, flagName)
 		}
 		out = append(out, k)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("vosbench: empty -runtime-ks")
+		return nil, fmt.Errorf("vosbench: empty %s", flagName)
 	}
 	return out, nil
 }

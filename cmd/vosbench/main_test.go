@@ -9,17 +9,17 @@ import (
 )
 
 func TestParseKs(t *testing.T) {
-	got, err := parseKs("1, 10,100")
+	got, err := parseIntList("1, 10,100", "-runtime-ks")
 	if err != nil || len(got) != 3 || got[2] != 100 {
-		t.Errorf("parseKs = %v, %v", got, err)
+		t.Errorf("parseIntList = %v, %v", got, err)
 	}
 	for _, bad := range []string{"", "x", "0", "-5", "1,,x"} {
-		if _, err := parseKs(bad); err == nil {
-			t.Errorf("parseKs(%q) accepted", bad)
+		if _, err := parseIntList(bad, "-runtime-ks"); err == nil {
+			t.Errorf("parseIntList(%q) accepted", bad)
 		}
 	}
 	// Trailing comma tolerated.
-	if got, err := parseKs("5,"); err != nil || len(got) != 1 {
+	if got, err := parseIntList("5,", "-shards"); err != nil || len(got) != 1 {
 		t.Errorf("trailing comma: %v, %v", got, err)
 	}
 }
@@ -27,6 +27,32 @@ func TestParseKs(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if _, err := run("nope", experiments.Options{}); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunThroughput(t *testing.T) {
+	opts := experiments.Options{
+		Seed: 3, K32: 8, Lambda: 2,
+		RuntimeUsers: 50, RuntimeEdges: 2_000,
+	}
+	tables, err := runWithShards("throughput", opts, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ID != "throughput" {
+		t.Fatalf("tables = %v", tables)
+	}
+	if len(tables[0].Rows) != 2 {
+		t.Fatalf("want one row per shard count, got %d", len(tables[0].Rows))
+	}
+	for _, row := range tables[0].Rows {
+		if row[len(row)-1] != "yes" {
+			t.Fatalf("engine estimates diverged from sequential sketch: %v", row)
+		}
+	}
+	// Non-throughput ids must still dispatch through run.
+	if _, err := runWithShards("nope", opts, []int{1}); err == nil {
+		t.Error("unknown experiment accepted via runWithShards")
 	}
 }
 

@@ -5,11 +5,14 @@ import (
 )
 
 // ConcurrentSketch wraps a Sketch with a read-write mutex so one writer
-// (the stream consumer) and many readers (query servers) can share it.
+// (the stream consumer) and many readers (query servers) can share it. It
+// is the simplest thread-safe deployment, and its limit: every Process
+// serialises on one lock, so ingest cannot scale past one core.
 //
-// For write-heavy pipelines, prefer sharding: run one plain Sketch per
-// stream partition with identical Config and combine with Sketch.Merge —
-// merging is exact for any partition of the stream.
+// For write-heavy pipelines, use Engine instead — N sketch shards fed by
+// per-shard ingest goroutines with an exactly merged query snapshot — or,
+// for offline work, one plain Sketch per stream partition combined with
+// Sketch.Merge (merging is exact for any partition of the stream).
 type ConcurrentSketch struct {
 	mu sync.RWMutex
 	sk *Sketch

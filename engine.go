@@ -1,0 +1,46 @@
+package vos
+
+import (
+	"github.com/vossketch/vos/internal/engine"
+	"github.com/vossketch/vos/internal/metrics"
+)
+
+// Engine is the sharded, pipelined ingestion engine: N independent Sketch
+// shards with identical Config, one ingest goroutine per shard fed by
+// buffered batch channels, and an exact merged-snapshot query path.
+//
+// Use it when ingest throughput must scale past one core. Because VOS
+// merging is exact for any partition of the stream, a K-shard Engine
+// returns (after Flush) bit-identical estimates to a single Sketch that
+// consumed the whole stream — sharding costs no accuracy. For a simple
+// shared sketch with reader/writer locking, see ConcurrentSketch; for the
+// offline equivalent, see PartitionByUser plus Sketch.Merge.
+//
+// See internal/engine for the full model.
+type Engine = engine.Engine
+
+// EngineConfig parameterises an Engine: the per-shard sketch Config plus
+// shard count, batch size, queue capacity, linger interval, and the query
+// snapshot staleness budget. Zero values select defaults (Shards =
+// GOMAXPROCS, BatchSize = 256, QueueSize = 8192 edges, FlushInterval =
+// 50ms, SnapshotMaxLag = 0 i.e. exact queries).
+type EngineConfig = engine.Config
+
+// ShardStat is one engine shard's health snapshot (counters, backlog, β).
+type ShardStat = metrics.ShardStat
+
+// RateMeter converts a monotone counter (e.g. summed ShardStat.Processed)
+// into windowed per-second rates for dashboards and harnesses.
+type RateMeter = metrics.RateMeter
+
+// TotalShardStats folds Engine.ShardStats into one aggregate row.
+func TotalShardStats(stats []ShardStat) ShardStat { return metrics.TotalShardStats(stats) }
+
+// ErrEngineClosed is returned by Engine.Process after Engine.Close.
+var ErrEngineClosed = engine.ErrClosed
+
+// NewEngine creates and starts a sharded ingestion engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// MustNewEngine is NewEngine for static configurations; it panics on error.
+func MustNewEngine(cfg EngineConfig) *Engine { return engine.MustNew(cfg) }

@@ -1,0 +1,73 @@
+package vos_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/vossketch/vos"
+)
+
+// engineTestStream builds a feasible insert+delete stream.
+func engineTestStream(n, users int, delFrac float64, seed int64) []vos.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	type key struct {
+		u vos.User
+		i vos.Item
+	}
+	liveList := make([]key, 0, n)
+	liveIdx := make(map[key]int, n)
+	out := make([]vos.Edge, 0, n)
+	for len(out) < n {
+		if len(liveList) > 0 && rng.Float64() < delFrac {
+			pos := rng.Intn(len(liveList))
+			k := liveList[pos]
+			last := len(liveList) - 1
+			liveList[pos] = liveList[last]
+			liveIdx[liveList[pos]] = pos
+			liveList = liveList[:last]
+			delete(liveIdx, k)
+			out = append(out, vos.Edge{User: k.u, Item: k.i, Op: vos.Delete})
+			continue
+		}
+		k := key{vos.User(rng.Intn(users)), vos.Item(rng.Uint64() % 100_000)}
+		if _, dup := liveIdx[k]; dup {
+			continue
+		}
+		liveIdx[k] = len(liveList)
+		liveList = append(liveList, k)
+		out = append(out, vos.Edge{User: k.u, Item: k.i, Op: vos.Insert})
+	}
+	return out
+}
+
+// TestEngineAccuracyParity is the public-API form of the sharding
+// guarantee: a K-shard Engine returns identical estimates to a single
+// Sketch over the same insert+delete stream.
+func TestEngineAccuracyParity(t *testing.T) {
+	cfg := vos.Config{MemoryBits: 1 << 19, SketchBits: 1024, Seed: 13}
+	edges := engineTestStream(30_000, 300, 0.3, 4)
+
+	single := vos.MustNew(cfg)
+	for _, e := range edges {
+		single.Process(e)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			eng := vos.MustNewEngine(vos.EngineConfig{Sketch: cfg, Shards: shards})
+			defer eng.Close()
+			if err := eng.ProcessBatch(edges); err != nil {
+				t.Fatal(err)
+			}
+			eng.Flush()
+			for u := vos.User(0); u < 30; u++ {
+				for v := u + 1; v < 30; v += 5 {
+					if got, want := eng.Query(u, v), single.Query(u, v); got != want {
+						t.Fatalf("engine Query(%d,%d) = %+v, single sketch %+v", u, v, got, want)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,13 +1,20 @@
-// A similarity query service: one writer goroutine ingests the event
-// stream while an HTTP API serves similarity queries from the shared VOS
-// sketch — the deployment shape the paper's O(1)-update / O(k)-query split
-// is designed for.
+// A similarity query service on the sharded engine: N ingest shards
+// absorb the event stream while an HTTP API serves similarity queries
+// from the engine's exactly merged snapshot — the deployment shape the
+// paper's O(1)-update / O(k)-query split is designed for, scaled past one
+// core by vos.Engine.
 //
 // Endpoints:
 //
 //	POST /event?user=U&item=I&op=+|-   ingest one subscription event
 //	GET  /similarity?u=U&v=V           estimate s_uv and Jaccard
-//	GET  /stats                        sketch state (β, memory, users)
+//	GET  /stats                        merged sketch state (β, memory, users)
+//	GET  /shards                       per-shard ingest counters and load
+//
+// The similarity handler flushes the engine first, trading a little query
+// latency for read-your-writes consistency — the right default for a demo
+// and for low-write services; high-write deployments would skip the flush
+// and serve from a bounded-staleness snapshot (EngineConfig.SnapshotMaxLag).
 //
 // The program starts the server on a local port, drives a simulated
 // workload against it over HTTP, issues a few queries, and shuts down —
@@ -27,9 +34,9 @@ import (
 	"github.com/vossketch/vos"
 )
 
-// server wraps the concurrent sketch with the HTTP API.
+// server wraps the sharded engine with the HTTP API.
 type server struct {
-	sketch *vos.ConcurrentSketch
+	engine *vos.Engine
 }
 
 func (s *server) handleEvent(w http.ResponseWriter, r *http.Request) {
@@ -54,7 +61,10 @@ func (s *server) handleEvent(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "op must be + or -", http.StatusBadRequest)
 		return
 	}
-	s.sketch.Process(vos.Edge{User: vos.User(u), Item: vos.Item(i), Op: op})
+	if err := s.engine.Process(vos.Edge{User: vos.User(u), Item: vos.Item(i), Op: op}); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -66,7 +76,10 @@ func (s *server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "u and v must be unsigned integers", http.StatusBadRequest)
 		return
 	}
-	est := s.sketch.Query(vos.User(u), vos.User(v))
+	// Read-your-writes: apply everything accepted so far, then answer
+	// from the exact merged snapshot.
+	s.engine.Flush()
+	est := s.engine.Query(vos.User(u), vos.User(v))
 	writeJSON(w, map[string]any{
 		"common_items":  est.CommonClamped,
 		"jaccard":       est.Jaccard,
@@ -77,13 +90,31 @@ func (s *server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := s.sketch.Stats()
+	st := s.engine.Stats()
 	writeJSON(w, map[string]any{
 		"memory_bits": st.MemoryBits,
 		"sketch_bits": st.SketchBits,
 		"beta":        st.Beta,
 		"users":       st.Users,
+		"shards":      s.engine.Shards(),
 	})
+}
+
+func (s *server) handleShards(w http.ResponseWriter, _ *http.Request) {
+	stats := s.engine.ShardStats()
+	out := make([]map[string]any, len(stats))
+	for i, st := range stats {
+		out[i] = map[string]any{
+			"shard":       st.Shard,
+			"enqueued":    st.Enqueued,
+			"processed":   st.Processed,
+			"backlog":     st.Backlog(),
+			"beta":        st.Beta,
+			"users":       st.Users,
+			"edges_per_s": st.EdgesPerSec,
+		}
+	}
+	writeJSON(w, out)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -100,20 +131,25 @@ func parseID(s string) (uint64, error) {
 }
 
 func main() {
-	sk, err := vos.NewConcurrent(vos.Config{
-		MemoryBits: 1 << 22,
-		SketchBits: 4096,
-		Seed:       3,
+	eng, err := vos.NewEngine(vos.EngineConfig{
+		Sketch: vos.Config{
+			MemoryBits: 1 << 22,
+			SketchBits: 4096,
+			Seed:       3,
+		},
+		Shards: 4,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &server{sketch: sk}
+	defer eng.Close()
+	srv := &server{engine: eng}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/event", srv.handleEvent)
 	mux.HandleFunc("/similarity", srv.handleSimilarity)
 	mux.HandleFunc("/stats", srv.handleStats)
+	mux.HandleFunc("/shards", srv.handleShards)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -126,7 +162,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}()
-	fmt.Printf("similarity service listening on %s\n\n", base)
+	fmt.Printf("similarity service listening on %s (4 ingest shards)\n\n", base)
 
 	// Drive a workload over the wire: two overlapping users plus noise,
 	// including unsubscriptions.
@@ -160,7 +196,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var buf [512]byte
+		var buf [1024]byte
 		n, _ := resp.Body.Read(buf[:])
 		return string(buf[:n])
 	}
@@ -169,6 +205,8 @@ func main() {
 	fmt.Println("  (true common items: 100, true Jaccard: 100/450 ≈ 0.222)")
 	fmt.Println("GET /stats")
 	fmt.Println("  " + get("/stats"))
+	fmt.Println("GET /shards")
+	fmt.Println("  " + get("/shards"))
 
 	if err := httpSrv.Close(); err != nil {
 		log.Fatal(err)

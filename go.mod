@@ -1,0 +1,3 @@
+module github.com/vossketch/vos
+
+go 1.24

@@ -125,12 +125,17 @@ func (v *VOS) position(u stream.User, j int) uint64 {
 func (v *VOS) Process(e stream.Edge) {
 	j := v.slot(e.Item)
 	v.arr.Flip(v.position(e.User, j))
-	if e.Op == stream.Insert {
-		v.card[e.User]++
-	} else if v.card[e.User]--; v.card[e.User] == 0 {
-		// A user whose subscriptions all cancelled out holds no sketch
-		// state at all; dropping the counter entry keeps memory
-		// proportional to active users on long-running streams.
+	d := int64(1)
+	if e.Op != stream.Insert {
+		d = -1
+	}
+	// A user whose subscriptions all cancelled out holds no sketch state
+	// at all; dropping the counter entry keeps memory proportional to
+	// active users on long-running streams. The prune fires on both ops so
+	// sketch state is fully order-independent: under sharded ingestion a
+	// user's delete may be applied before the matching insert (counter
+	// goes -1 then back to 0), and the insert must erase the entry too.
+	if v.card[e.User] += d; v.card[e.User] == 0 {
 		delete(v.card, e.User)
 	}
 }

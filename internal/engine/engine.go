@@ -1,0 +1,472 @@
+// Package engine implements the sharded, pipelined ingestion engine that
+// scales VOS ingest across cores. It exists because VOS state is pure
+// parity: the shared bit array of a stream equals the XOR of the arrays of
+// any partition of that stream and the cardinality counters add, so
+// core.VOS.Merge is exact for every way of splitting the input. That makes
+// "one sketch per shard, merge for queries" a lossless parallelisation —
+// the same partition-then-merge structure gSketch (VLDB'12) uses to
+// localise stream updates — where a single mutex-guarded sketch
+// (vos.ConcurrentSketch) serialises every update on one lock.
+//
+// Topology: N independent core.VOS shards with identical Config, each owned
+// by one ingest goroutine fed through a buffered channel of edge batches.
+// Producers route edges with stream.ShardOf(user) — the same hook
+// stream.PartitionByUser uses — buffer them into per-shard batches, and
+// hand full batches to the owning worker; the worker applies a batch under
+// its shard-local lock. Because a user's edges always land in the same
+// shard, each shard sees a feasible sub-stream and its cardinality
+// counters are exact.
+//
+// Queries answer from a merged global snapshot rebuilt on demand when the
+// applied-edge count has advanced past Config.SnapshotMaxLag — merging is
+// exact, so a post-Flush Query returns bit-identical estimates to a single
+// Sketch that consumed the whole stream. QueryLocal offers a lower-latency
+// path that touches only the owning shard when both users co-reside.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/vossketch/vos/internal/core"
+	"github.com/vossketch/vos/internal/hashing"
+	"github.com/vossketch/vos/internal/metrics"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// ErrClosed is returned by Process/ProcessBatch after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Config parameterises an Engine. The zero value of every field except
+// Sketch selects a sensible default.
+type Config struct {
+	// Sketch is the per-shard VOS configuration. Every shard gets an
+	// identical copy, which is what makes the shards mergeable.
+	Sketch core.Config
+
+	// Shards is N, the number of independent sketch shards and ingest
+	// goroutines. Default: runtime.GOMAXPROCS(0).
+	Shards int
+
+	// RouteSeed seeds the user→shard hash. Edges route exactly like
+	// stream.PartitionByUser(edges, Shards, RouteSeed). Default: derived
+	// from Sketch.Seed, so engines with equal sketch configs route alike.
+	RouteSeed uint64
+
+	// BatchSize is how many edges a producer buffers per shard before
+	// handing the batch to the shard worker, and the unit the worker
+	// applies under one lock acquisition. Default: 256.
+	BatchSize int
+
+	// QueueSize is the per-shard ingest queue capacity in edges (rounded
+	// up to whole batches). When a shard's queue is full, Process blocks —
+	// backpressure, not loss. Default: 8192.
+	QueueSize int
+
+	// FlushInterval bounds how long a partially filled producer batch can
+	// sit unapplied on an idle stream: a background ticker hands partial
+	// batches to the workers this often. Negative disables the ticker
+	// (then only full batches, Flush, and Close drain the buffers).
+	// Default: 50ms.
+	FlushInterval time.Duration
+
+	// SnapshotMaxLag is the query-path staleness budget, in applied edges:
+	// Query rebuilds the merged global snapshot when more than this many
+	// edges have been applied since the snapshot was taken. 0 (the
+	// default) re-merges whenever anything new has been applied, so every
+	// Query is exact with respect to the applied stream.
+	SnapshotMaxLag uint64
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.RouteSeed == 0 {
+		// Any fixed derivation works; keep it distinct from the seeds the
+		// sketch itself consumes so routing and hashing stay independent.
+		c.RouteSeed = hashing.Hash64(c.Sketch.Seed, 0x73686172644b6579)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 8192
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 50 * time.Millisecond
+	}
+	return c
+}
+
+// shard is one partition: a private sketch, its ingest queue, and the
+// producer-side pending batch.
+type shard struct {
+	// pendMu guards pend, the producer-side partial batch.
+	pendMu sync.Mutex
+	pend   []stream.Edge
+
+	// ch carries full batches to the worker goroutine.
+	ch chan []stream.Edge
+
+	// skMu guards sk: the worker writes under Lock, queries and merges
+	// read under RLock.
+	skMu sync.RWMutex
+	sk   *core.VOS
+
+	// enqueued counts edges accepted by Process/ProcessBatch for this
+	// shard (including edges still pending or queued); processed counts
+	// edges applied to sk. processed is advanced inside skMu, so a reader
+	// holding RLock sees exactly the count reflected in sk.
+	enqueued  atomic.Uint64
+	processed atomic.Uint64
+}
+
+// Engine is the sharded ingestion engine. All methods are safe for
+// concurrent use, with one lifecycle rule: no Process/ProcessBatch call
+// may start after Close has begun.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	stop   chan struct{} // stops the linger ticker
+	start  time.Time
+
+	// snapMu guards the merged query snapshot. snap is immutable once
+	// published: rebuilds create a fresh sketch, so callers may keep
+	// reading a superseded snapshot safely.
+	snapMu sync.Mutex
+	snap   *core.VOS
+	snapAt []uint64 // per-shard processed counts captured at merge time
+}
+
+// New creates and starts an Engine. The configuration is validated the
+// same way core.New validates a sketch.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	batches := (cfg.QueueSize + cfg.BatchSize - 1) / cfg.BatchSize
+	e := &Engine{
+		cfg:    cfg,
+		shards: make([]*shard, cfg.Shards),
+		stop:   make(chan struct{}),
+		start:  time.Now(),
+		snapAt: make([]uint64, cfg.Shards),
+	}
+	for i := range e.shards {
+		sk, err := core.New(cfg.Sketch)
+		if err != nil {
+			return nil, err
+		}
+		s := &shard{
+			ch: make(chan []stream.Edge, batches),
+			sk: sk,
+		}
+		e.shards[i] = s
+		e.wg.Add(1)
+		go e.worker(s)
+	}
+	if cfg.FlushInterval > 0 {
+		e.wg.Add(1)
+		go e.linger()
+	}
+	return e, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Config returns the resolved engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Shards returns N, the number of sketch shards.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// ShardOf returns the shard in [0, N) that owns user u. It agrees with
+// stream.PartitionByUser(edges, N, Config.RouteSeed).
+func (e *Engine) ShardOf(u stream.User) int {
+	return stream.ShardOf(u, len(e.shards), e.cfg.RouteSeed)
+}
+
+// worker is the shard's ingest goroutine: it applies batches under the
+// shard lock until the queue is closed.
+func (e *Engine) worker(s *shard) {
+	defer e.wg.Done()
+	for batch := range s.ch {
+		s.skMu.Lock()
+		for _, ed := range batch {
+			s.sk.Process(ed)
+		}
+		s.processed.Add(uint64(len(batch)))
+		s.skMu.Unlock()
+	}
+}
+
+// linger periodically hands partial producer batches to the workers so an
+// idle stream's tail does not sit unapplied forever.
+func (e *Engine) linger() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-t.C:
+			for _, s := range e.shards {
+				e.kickPending(s)
+			}
+		}
+	}
+}
+
+// kickPending hands the shard's partial batch to the worker without
+// blocking; if the queue is full the batch stays pending for next time.
+func (e *Engine) kickPending(s *shard) {
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	if len(s.pend) == 0 {
+		return
+	}
+	select {
+	case s.ch <- s.pend:
+		s.pend = nil
+	default:
+	}
+}
+
+// add accepts a group of edges for one shard: it counts them, appends to
+// the pending batch, and hands full batches to the worker (blocking when
+// the queue is full — backpressure). Batches are carved to exactly
+// BatchSize edges so the queue's capacity in edges really is bounded by
+// Config.QueueSize (rounded up to whole batches) no matter how large the
+// slices passed to ProcessBatch are; the residue stays pending (always
+// shorter than one batch at rest).
+func (s *shard) add(edges []stream.Edge, batchSize int) {
+	s.enqueued.Add(uint64(len(edges)))
+	s.pendMu.Lock()
+	s.pend = append(s.pend, edges...)
+	var full [][]stream.Edge
+	for len(s.pend) >= batchSize {
+		full = append(full, s.pend[:batchSize:batchSize])
+		s.pend = s.pend[batchSize:]
+	}
+	if len(s.pend) == 0 {
+		s.pend = nil
+	}
+	s.pendMu.Unlock()
+	for _, out := range full {
+		s.ch <- out
+	}
+}
+
+// Process routes one stream element to its owning shard. It blocks only
+// when that shard's queue is full. It must not be called after Close.
+func (e *Engine) Process(ed stream.Edge) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	e.shards[e.ShardOf(ed.User)].add([]stream.Edge{ed}, e.cfg.BatchSize)
+	return nil
+}
+
+// ProcessBatch routes a slice of stream elements, grouping them by owning
+// shard first so each shard's lock is taken once per call rather than once
+// per edge. This is the high-throughput ingest path.
+func (e *Engine) ProcessBatch(edges []stream.Edge) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+	n := len(e.shards)
+	if n == 1 {
+		e.shards[0].add(edges, e.cfg.BatchSize)
+		return nil
+	}
+	groups := make([][]stream.Edge, n)
+	for _, ed := range edges {
+		i := e.ShardOf(ed.User)
+		groups[i] = append(groups[i], ed)
+	}
+	for i, g := range groups {
+		if len(g) > 0 {
+			e.shards[i].add(g, e.cfg.BatchSize)
+		}
+	}
+	return nil
+}
+
+// Flush blocks until every edge accepted before the call has been applied
+// to its shard sketch. After Flush, Query reflects all of them exactly.
+func (e *Engine) Flush() {
+	targets := make([]uint64, len(e.shards))
+	for i, s := range e.shards {
+		targets[i] = s.enqueued.Load()
+	}
+	for i, s := range e.shards {
+		for s.processed.Load() < targets[i] {
+			// The shortfall can live in the pending batch (hand it over,
+			// blocking if the queue is full) or in the queue (yield until
+			// the worker drains it).
+			s.pendMu.Lock()
+			out := s.pend
+			s.pend = nil
+			s.pendMu.Unlock()
+			if len(out) > 0 {
+				s.ch <- out
+				continue
+			}
+			runtime.Gosched()
+			if s.processed.Load() < targets[i] {
+				time.Sleep(20 * time.Microsecond)
+			}
+		}
+	}
+}
+
+// Close flushes buffered edges, stops the workers, and waits for them to
+// exit. It is idempotent. Producers must have stopped calling
+// Process/ProcessBatch before Close begins.
+func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(e.stop)
+	for _, s := range e.shards {
+		s.pendMu.Lock()
+		out := s.pend
+		s.pend = nil
+		s.pendMu.Unlock()
+		if len(out) > 0 {
+			s.ch <- out
+		}
+		close(s.ch)
+	}
+	e.wg.Wait()
+	return nil
+}
+
+// snapshot returns the merged global sketch, rebuilding it when more than
+// SnapshotMaxLag edges have been applied since the last merge. The
+// returned sketch is never mutated after publication.
+func (e *Engine) snapshot() *core.VOS {
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	if e.snap != nil {
+		lag := uint64(0)
+		for i, s := range e.shards {
+			lag += s.processed.Load() - e.snapAt[i]
+		}
+		if lag <= e.cfg.SnapshotMaxLag {
+			return e.snap
+		}
+	}
+	merged := core.MustNew(e.cfg.Sketch)
+	for i, s := range e.shards {
+		s.skMu.RLock()
+		e.snapAt[i] = s.processed.Load()
+		err := merged.Merge(s.sk)
+		s.skMu.RUnlock()
+		if err != nil {
+			// Impossible: every shard shares e.cfg.Sketch by construction.
+			panic(fmt.Sprintf("engine: shard merge failed: %v", err))
+		}
+	}
+	e.snap = merged
+	return merged
+}
+
+// Query estimates the similarity of users u and v from the merged global
+// snapshot. With the default SnapshotMaxLag of 0, the answer is exact for
+// every applied edge; call Flush first for read-your-writes over edges
+// still in flight. A post-Flush Query is bit-identical to a single
+// vos.Sketch that consumed the whole stream with the same Config.
+func (e *Engine) Query(u, v stream.User) core.Estimate {
+	return e.snapshot().Query(u, v)
+}
+
+// QueryMany estimates u against every candidate in one pass over the
+// merged snapshot (see core.VOS.QueryMany).
+func (e *Engine) QueryMany(u stream.User, candidates []stream.User) []core.Estimate {
+	return e.snapshot().QueryMany(u, candidates)
+}
+
+// QueryLocal answers a pair query from the owning shard alone when both
+// users co-reside, skipping the global merge: one RLock on one shard, no
+// cross-shard work. It reports false when the users live on different
+// shards (fall back to Query).
+//
+// The shard holds all of both users' parity state, so the estimate is
+// valid — and its contamination term β reflects only the shard's own
+// users, typically less loaded than the global array — but it is not
+// bit-identical to the monolithic baseline, which Query is.
+func (e *Engine) QueryLocal(u, v stream.User) (core.Estimate, bool) {
+	su, sv := e.ShardOf(u), e.ShardOf(v)
+	if su != sv {
+		return core.Estimate{}, false
+	}
+	s := e.shards[su]
+	s.skMu.RLock()
+	defer s.skMu.RUnlock()
+	return s.sk.Query(u, v), true
+}
+
+// Cardinality returns n_u over applied edges. A user's state lives only in
+// its owning shard, so this reads one shard and is exact without a merge.
+func (e *Engine) Cardinality(u stream.User) int64 {
+	s := e.shards[e.ShardOf(u)]
+	s.skMu.RLock()
+	defer s.skMu.RUnlock()
+	return s.sk.Cardinality(u)
+}
+
+// Stats summarises the merged global sketch (see core.VOS.Stats).
+func (e *Engine) Stats() core.Stats {
+	return e.snapshot().Stats()
+}
+
+// MarshalBinary serializes the merged global snapshot; the result restores
+// with core.UnmarshalVOS (or vos.Unmarshal) as a plain single sketch.
+func (e *Engine) MarshalBinary() ([]byte, error) {
+	return e.snapshot().MarshalBinary()
+}
+
+// ShardStats reports one health snapshot per shard: ingest counters,
+// backlog, and the shard array's load β.
+func (e *Engine) ShardStats() []metrics.ShardStat {
+	elapsed := time.Since(e.start).Seconds()
+	out := make([]metrics.ShardStat, len(e.shards))
+	for i, s := range e.shards {
+		s.skMu.RLock()
+		beta := s.sk.Beta()
+		users := s.sk.Users()
+		s.skMu.RUnlock()
+		processed := s.processed.Load()
+		st := metrics.ShardStat{
+			Shard:        i,
+			Enqueued:     s.enqueued.Load(),
+			Processed:    processed,
+			QueueBatches: len(s.ch),
+			Beta:         beta,
+			Users:        users,
+		}
+		if elapsed > 0 {
+			st.EdgesPerSec = float64(processed) / elapsed
+		}
+		out[i] = st
+	}
+	return out
+}

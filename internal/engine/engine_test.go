@@ -1,0 +1,373 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/vossketch/vos/internal/core"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+func testConfig() core.Config {
+	return core.Config{MemoryBits: 1 << 18, SketchBits: 512, Seed: 7}
+}
+
+// feasibleStream generates n edges over the given user count with delFrac
+// unsubscriptions of live edges, so every prefix is feasible.
+func feasibleStream(n, users int, delFrac float64, seed int64) []stream.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	type key struct {
+		u stream.User
+		i stream.Item
+	}
+	liveList := make([]key, 0, n)
+	liveIdx := make(map[key]int, n)
+	out := make([]stream.Edge, 0, n)
+	for len(out) < n {
+		if len(liveList) > 0 && rng.Float64() < delFrac {
+			pos := rng.Intn(len(liveList))
+			k := liveList[pos]
+			last := len(liveList) - 1
+			liveList[pos] = liveList[last]
+			liveIdx[liveList[pos]] = pos
+			liveList = liveList[:last]
+			delete(liveIdx, k)
+			out = append(out, stream.Edge{User: k.u, Item: k.i, Op: stream.Delete})
+			continue
+		}
+		k := key{stream.User(rng.Intn(users)), stream.Item(rng.Uint64() % 100_000)}
+		if _, dup := liveIdx[k]; dup {
+			continue
+		}
+		liveIdx[k] = len(liveList)
+		liveList = append(liveList, k)
+		out = append(out, stream.Edge{User: k.u, Item: k.i, Op: stream.Insert})
+	}
+	return out
+}
+
+// TestAccuracyParity is the headline guarantee: a K-shard engine returns
+// identical estimates to a single sketch over the same insert+delete
+// stream, for every K.
+func TestAccuracyParity(t *testing.T) {
+	cfg := testConfig()
+	edges := feasibleStream(20_000, 200, 0.25, 11)
+
+	single := core.MustNew(cfg)
+	for _, ed := range edges {
+		single.Process(ed)
+	}
+
+	for _, shards := range []int{1, 2, 3, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			e := MustNew(Config{Sketch: cfg, Shards: shards, BatchSize: 64})
+			defer e.Close()
+			if err := e.ProcessBatch(edges); err != nil {
+				t.Fatal(err)
+			}
+			e.Flush()
+
+			st, est := single.Stats(), e.Stats()
+			if st.OnesCount != est.OnesCount || st.Beta != est.Beta || st.Users != est.Users {
+				t.Fatalf("merged stats diverge: single %+v vs engine %+v", st, est)
+			}
+			for u := stream.User(0); u < 40; u++ {
+				for v := u + 1; v < 40; v += 7 {
+					if got, want := e.Query(u, v), single.Query(u, v); got != want {
+						t.Fatalf("Query(%d,%d) = %+v, single sketch %+v", u, v, got, want)
+					}
+				}
+				if got, want := e.Cardinality(u), single.Cardinality(u); got != want {
+					t.Fatalf("Cardinality(%d) = %d, want %d", u, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardingMatchesPartitionByUser pins the routing contract: the
+// engine's shard sketches equal plain sketches built over
+// stream.PartitionByUser with the engine's routing seed.
+func TestShardingMatchesPartitionByUser(t *testing.T) {
+	cfg := testConfig()
+	edges := feasibleStream(5_000, 100, 0.2, 5)
+	const shards = 4
+
+	e := MustNew(Config{Sketch: cfg, Shards: shards})
+	defer e.Close()
+	if err := e.ProcessBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+
+	parts := stream.PartitionByUser(edges, shards, e.Config().RouteSeed)
+	for i, part := range parts {
+		want := core.MustNew(cfg)
+		for _, ed := range part {
+			want.Process(ed)
+		}
+		e.shards[i].skMu.RLock()
+		got := e.shards[i].sk.Stats()
+		e.shards[i].skMu.RUnlock()
+		if got != want.Stats() {
+			t.Fatalf("shard %d state %+v, PartitionByUser sketch %+v", i, got, want.Stats())
+		}
+	}
+}
+
+// TestQueryLocal checks the co-residence routing and that with all state
+// on one shard the local answer equals the global one.
+func TestQueryLocal(t *testing.T) {
+	cfg := testConfig()
+	e := MustNew(Config{Sketch: cfg, Shards: 4})
+	defer e.Close()
+
+	// Find two users owned by the same shard and stream only them, so the
+	// owning shard's array equals the merged array.
+	u := stream.User(1)
+	v := u + 1
+	for e.ShardOf(v) != e.ShardOf(u) {
+		v++
+	}
+	var w stream.User // a user on a different shard
+	for w = v + 1; e.ShardOf(w) == e.ShardOf(u); w++ {
+	}
+
+	for i := 0; i < 300; i++ {
+		if err := e.Process(stream.Edge{User: u, Item: stream.Item(i), Op: stream.Insert}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Process(stream.Edge{User: v, Item: stream.Item(i + 100), Op: stream.Insert}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Flush()
+
+	local, ok := e.QueryLocal(u, v)
+	if !ok {
+		t.Fatal("QueryLocal reported different shards for co-resident users")
+	}
+	if global := e.Query(u, v); local != global {
+		t.Fatalf("single-shard stream: local %+v != global %+v", local, global)
+	}
+	if _, ok := e.QueryLocal(u, w); ok {
+		t.Fatal("QueryLocal claimed co-residence across shards")
+	}
+}
+
+// TestConcurrentProducersAndQueries hammers the engine from several
+// producers while queries run — the -race target — then verifies parity.
+func TestConcurrentProducersAndQueries(t *testing.T) {
+	cfg := testConfig()
+	edges := feasibleStream(24_000, 150, 0.25, 9)
+	e := MustNew(Config{Sketch: cfg, Shards: 3, BatchSize: 32, QueueSize: 256})
+	defer e.Close()
+
+	const producers = 4
+	per := len(edges) / producers
+	var produce sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		produce.Add(1)
+		go func(chunk []stream.Edge) {
+			defer produce.Done()
+			for len(chunk) > 0 {
+				n := 100
+				if n > len(chunk) {
+					n = len(chunk)
+				}
+				if err := e.ProcessBatch(chunk[:n]); err != nil {
+					t.Error(err)
+					return
+				}
+				chunk = chunk[n:]
+			}
+		}(edges[p*per : (p+1)*per])
+	}
+	stopQ := make(chan struct{})
+	var query sync.WaitGroup
+	query.Add(1)
+	go func() { // concurrent readers on snapshot, local, and stats paths
+		defer query.Done()
+		for {
+			select {
+			case <-stopQ:
+				return
+			default:
+			}
+			_ = e.Query(1, 2)
+			_, _ = e.QueryLocal(3, 4)
+			_ = e.ShardStats()
+			_ = e.Cardinality(5)
+		}
+	}()
+	produce.Wait()
+	close(stopQ)
+	query.Wait()
+	e.Flush()
+
+	single := core.MustNew(cfg)
+	for _, ed := range edges[:per*producers] {
+		single.Process(ed)
+	}
+	if got, want := e.Query(10, 20), single.Query(10, 20); got != want {
+		t.Fatalf("post-concurrency Query = %+v, want %+v", got, want)
+	}
+}
+
+// TestLingerFlushesPartialBatches verifies an idle stream's tail becomes
+// visible without an explicit Flush, via the background ticker.
+func TestLingerFlushesPartialBatches(t *testing.T) {
+	e := MustNew(Config{
+		Sketch: testConfig(), Shards: 2,
+		BatchSize: 1024, FlushInterval: 2 * time.Millisecond,
+	})
+	defer e.Close()
+	if err := e.Process(stream.Edge{User: 1, Item: 2, Op: stream.Insert}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Cardinality(1) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("pending edge never applied by linger ticker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCloseDrainsAndRejects: Close applies everything buffered, later
+// Process calls fail, and Close is idempotent.
+func TestCloseDrainsAndRejects(t *testing.T) {
+	e := MustNew(Config{Sketch: testConfig(), Shards: 2, BatchSize: 512})
+	for i := 0; i < 100; i++ {
+		if err := e.Process(stream.Edge{User: stream.User(i % 5), Item: stream.Item(i), Op: stream.Insert}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := e.Process(stream.Edge{User: 1, Item: 1, Op: stream.Insert}); err != ErrClosed {
+		t.Fatalf("Process after Close = %v, want ErrClosed", err)
+	}
+	if err := e.ProcessBatch([]stream.Edge{{User: 1, Item: 1}}); err != ErrClosed {
+		t.Fatalf("ProcessBatch after Close = %v, want ErrClosed", err)
+	}
+	total := uint64(0)
+	for _, st := range e.ShardStats() {
+		if st.Backlog() != 0 {
+			t.Fatalf("shard %d has backlog %d after Close", st.Shard, st.Backlog())
+		}
+		total += st.Processed
+	}
+	if total != 100 {
+		t.Fatalf("processed %d edges, want 100", total)
+	}
+}
+
+// TestSnapshotStaleness: with a lag budget the snapshot is reused, and a
+// zero budget re-merges as soon as new edges apply.
+func TestSnapshotStaleness(t *testing.T) {
+	e := MustNew(Config{
+		Sketch: testConfig(), Shards: 2, BatchSize: 1,
+		SnapshotMaxLag: 1 << 62,
+	})
+	defer e.Close()
+	if err := e.Process(stream.Edge{User: 1, Item: 1, Op: stream.Insert}); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	first := e.snapshot()
+	if err := e.Process(stream.Edge{User: 1, Item: 2, Op: stream.Insert}); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	if e.snapshot() != first {
+		t.Fatal("snapshot rebuilt despite a huge staleness budget")
+	}
+
+	e2 := MustNew(Config{Sketch: testConfig(), Shards: 2, BatchSize: 1})
+	defer e2.Close()
+	if err := e2.Process(stream.Edge{User: 1, Item: 1, Op: stream.Insert}); err != nil {
+		t.Fatal(err)
+	}
+	e2.Flush()
+	a := e2.snapshot()
+	if err := e2.Process(stream.Edge{User: 1, Item: 2, Op: stream.Insert}); err != nil {
+		t.Fatal(err)
+	}
+	e2.Flush()
+	if e2.snapshot() == a {
+		t.Fatal("zero-lag snapshot not rebuilt after new edges")
+	}
+	if e2.Cardinality(1) != 2 {
+		t.Fatalf("cardinality = %d, want 2", e2.Cardinality(1))
+	}
+}
+
+// TestMarshalRoundTrip: the engine's merged snapshot restores as a plain
+// sketch with identical estimates.
+func TestMarshalRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	edges := feasibleStream(3_000, 50, 0.2, 21)
+	e := MustNew(Config{Sketch: cfg, Shards: 3})
+	defer e.Close()
+	if err := e.ProcessBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.UnmarshalVOS(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Query(1, 2), e.Query(1, 2); got != want {
+		t.Fatalf("restored Query = %+v, want %+v", got, want)
+	}
+}
+
+// TestBatchCarving pins the queue-bound contract: no matter how large the
+// slice handed to ProcessBatch, channel batches are exactly BatchSize
+// edges and the pending residue stays below one batch — so QueueSize
+// (rounded to whole batches) really bounds the edges buffered per shard.
+func TestBatchCarving(t *testing.T) {
+	const batch = 4
+	e := MustNew(Config{
+		Sketch: testConfig(), Shards: 1,
+		BatchSize: batch, QueueSize: 64, FlushInterval: -1,
+	})
+	defer e.Close()
+	edges := make([]stream.Edge, 10)
+	for i := range edges {
+		edges[i] = stream.Edge{User: stream.User(i), Item: stream.Item(i), Op: stream.Insert}
+	}
+	if err := e.ProcessBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	s := e.shards[0]
+	s.pendMu.Lock()
+	residue := len(s.pend)
+	s.pendMu.Unlock()
+	if residue >= batch {
+		t.Fatalf("pending residue %d, want < BatchSize %d", residue, batch)
+	}
+	e.Flush()
+	if got := s.processed.Load(); got != 10 {
+		t.Fatalf("processed %d edges, want 10", got)
+	}
+}
+
+// TestBadConfig propagates sketch validation.
+func TestBadConfig(t *testing.T) {
+	if _, err := New(Config{Sketch: core.Config{MemoryBits: 0, SketchBits: 8}}); err == nil {
+		t.Fatal("degenerate sketch config accepted")
+	}
+}

@@ -13,7 +13,7 @@ import (
 	"github.com/vossketch/vos/internal/stream"
 )
 
-// Ablations probe the design choices DESIGN.md calls out, beyond what the
+// Ablations probe the reproduction's design choices (see README.md), beyond what the
 // paper plots:
 //
 //   - abl-lambda: sensitivity of VOS to the virtual-sketch multiplier λ at

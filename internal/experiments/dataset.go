@@ -12,7 +12,7 @@ import (
 // value means "use Defaults()".
 type Options struct {
 	// Scale shrinks the paper-scale dataset profiles for laptop runs
-	// (see DESIGN.md §4). 0.01 reproduces the relative shapes at ~1% of
+	// (see README.md). 0.01 reproduces the relative shapes at ~1% of
 	// the node counts.
 	Scale float64
 	// Seed drives workload generation; every run with the same Options
@@ -47,7 +47,7 @@ type Options struct {
 }
 
 // Defaults returns the laptop-scale configuration used throughout
-// EXPERIMENTS.md.
+// README.md.
 func Defaults() Options {
 	return Options{
 		Scale:        0.01,

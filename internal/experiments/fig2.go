@@ -20,7 +20,7 @@ import (
 // so the deliverable is the growth shape and the method ordering, not the
 // absolute seconds of the authors' testbed.
 //
-// Two laptop adaptations, both documented in EXPERIMENTS.md:
+// Two laptop adaptations, both documented in README.md:
 //
 //   - The runtime workload fixes the user count (Options.RuntimeUsers) and
 //     stream length (RuntimeEdges) per profile shape, because a per-user

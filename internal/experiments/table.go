@@ -1,5 +1,5 @@
 // Package experiments contains the harness that regenerates every figure
-// of the paper's evaluation (§V) plus the ablations listed in DESIGN.md:
+// of the paper's evaluation (§V) plus the repository's ablations:
 // workload construction, the memory-equalised method lineup, runtime and
 // accuracy runners, and plain-text/CSV rendering of the resulting tables.
 package experiments

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/vossketch/vos/internal/core"
+	"github.com/vossketch/vos/internal/engine"
+	"github.com/vossketch/vos/internal/gen"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// Throughput measures sharded-engine ingest scaling: one row per shard
+// count, reporting wall time, edges/second, speedup over the single-shard
+// engine, and whether the engine's post-flush estimates exactly match a
+// single sequential sketch (they must — VOS merging is exact).
+//
+// Each run drives the engine with one producer goroutine per shard calling
+// ProcessBatch, the high-throughput path, so producer-side routing work
+// parallelises along with the shard workers. The workload reuses the
+// Figure 2 runtime shape (RuntimeUsers/RuntimeEdges) under PaperDynamize.
+func Throughput(opts Options, shardCounts []int) (*Table, error) {
+	opts = opts.normalized()
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4, 8}
+	}
+	// The speedup baseline is the smallest shard count, so order and
+	// duplicates in the flag must not change the reported numbers.
+	shardCounts = sortedUnique(shardCounts)
+
+	p, err := gen.ProfileByName(opts.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	p.Users = opts.RuntimeUsers
+	p.Items = opts.RuntimeUsers * 4
+	p.Edges = opts.RuntimeEdges
+	base := gen.Bipartite(p, opts.Seed)
+	edges := gen.Dynamize(base, gen.PaperDynamize(len(base), opts.Seed+1))
+
+	cfg := core.PaperConfig(int(opts.RuntimeUsers), opts.K32, opts.Lambda, uint64(opts.Seed))
+
+	// Sequential single-sketch reference: the baseline row and the parity
+	// oracle for every engine run.
+	single := core.MustNew(cfg)
+	t0 := time.Now()
+	for _, e := range edges {
+		single.Process(e)
+	}
+	seqElapsed := time.Since(t0)
+
+	// Parity probe pairs: a handful of user pairs with live state.
+	probes := [][2]stream.User{{0, 1}, {1, 2}, {2, 5}, {0, 7}}
+
+	baseCol := fmt.Sprintf("vs-%dshard", shardCounts[0])
+	tbl := &Table{
+		ID:     "throughput",
+		Title:  fmt.Sprintf("sharded engine ingest scaling (edges/s and speedup vs %d shard(s))", shardCounts[0]),
+		Header: []string{"shards", "producers", "wall", "edges/s", "vs-sequential", baseCol, "exact"},
+	}
+	tbl.AddNote("dataset=%s users=%d edges=%d (insert+delete after dynamize: %d)",
+		p.Name, p.Users, p.Edges, len(edges))
+	tbl.AddNote("sketch: m=%d bits, k=%d, seed=%d", cfg.MemoryBits, cfg.SketchBits, cfg.Seed)
+	tbl.AddNote("GOMAXPROCS=%d — scaling beyond it is not expected", runtime.GOMAXPROCS(0))
+	tbl.AddNote("sequential single-sketch baseline: %v (%.0f edges/s)",
+		seqElapsed.Round(time.Millisecond), float64(len(edges))/seqElapsed.Seconds())
+
+	var baseline float64
+	for _, n := range shardCounts {
+		eng, elapsed, err := runEngineIngest(cfg, edges, n)
+		if err != nil {
+			return nil, err
+		}
+		rate := float64(len(edges)) / elapsed.Seconds()
+		if n == shardCounts[0] {
+			baseline = rate
+		}
+
+		// Parity check of the timed engine against the sequential sketch.
+		exactMatch := "yes"
+		for _, pr := range probes {
+			if eng.Query(pr[0], pr[1]) != single.Query(pr[0], pr[1]) {
+				exactMatch = "NO"
+			}
+		}
+		if err := eng.Close(); err != nil {
+			return nil, err
+		}
+
+		tbl.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", n),
+			elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", rate),
+			fmt.Sprintf("%.2fx", rate/(float64(len(edges))/seqElapsed.Seconds())),
+			fmt.Sprintf("%.2fx", rate/baseline),
+			exactMatch,
+		)
+	}
+	return tbl, nil
+}
+
+// sortedUnique returns xs ascending with duplicates removed.
+func sortedUnique(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	j := 0
+	for i, x := range out {
+		if i == 0 || x != out[j-1] {
+			out[j] = x
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// runEngineIngest times one full ingest of edges into an n-shard engine
+// driven by n producers, including the final Flush. The flushed engine is
+// returned (still open) so the caller can run parity checks on the very
+// state that was timed; the caller closes it.
+func runEngineIngest(cfg core.Config, edges []stream.Edge, n int) (*engine.Engine, time.Duration, error) {
+	eng, err := engine.New(engine.Config{Sketch: cfg, Shards: n})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	const chunk = 1024
+	producers := n
+	per := (len(edges) + producers - 1) / producers
+	errs := make([]error, producers)
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for pIdx := 0; pIdx < producers; pIdx++ {
+		lo := pIdx * per
+		hi := lo + per
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(pIdx int, part []stream.Edge) {
+			defer wg.Done()
+			for len(part) > 0 {
+				m := chunk
+				if m > len(part) {
+					m = len(part)
+				}
+				if err := eng.ProcessBatch(part[:m]); err != nil {
+					errs[pIdx] = err
+					return
+				}
+				part = part[m:]
+			}
+		}(pIdx, edges[lo:hi])
+	}
+	wg.Wait()
+	eng.Flush()
+	elapsed := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			eng.Close()
+			return nil, 0, err
+		}
+	}
+	return eng, elapsed, nil
+}

@@ -3,7 +3,7 @@
 // (IMC'07) online social networks, and the Trièst-style (KDD'16) fully
 // dynamic stream transformation with mass-deletion events.
 //
-// Substitution note (see DESIGN.md §4): the original datasets are crawls of
+// Substitution note (see README.md, "Reproducing the paper"): the original datasets are crawls of
 // YouTube, Flickr, Orkut and LiveJournal. They are not redistributable here,
 // so each is replaced by a generated graph that preserves the published
 // shape — relative user counts, average degree, and a heavy-tailed degree

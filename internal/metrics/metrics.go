@@ -1,7 +1,3 @@
-// Package metrics implements the paper's §V error metrics — AAPE (average
-// absolute percentage error) for the common-item estimate ŝ and ARMSE
-// (average root mean square error) for the Jaccard estimate Ĵ — plus the
-// time-series collector the over-time figures are built from.
 package metrics
 
 import (

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestShardStatBacklogAndString(t *testing.T) {
+	s := ShardStat{Shard: 2, Enqueued: 10, Processed: 7, Beta: 0.25, Users: 3, EdgesPerSec: 100}
+	if s.Backlog() != 3 {
+		t.Fatalf("Backlog = %d, want 3", s.Backlog())
+	}
+	str := s.String()
+	for _, frag := range []string{"shard 2", "7 applied", "3 backlog", "0.25000", "3 users"} {
+		if !strings.Contains(str, frag) {
+			t.Fatalf("String() = %q, missing %q", str, frag)
+		}
+	}
+}
+
+func TestTotalShardStats(t *testing.T) {
+	total := TotalShardStats([]ShardStat{
+		{Enqueued: 10, Processed: 8, QueueBatches: 1, Beta: 0.2, Users: 5, EdgesPerSec: 50},
+		{Enqueued: 20, Processed: 20, QueueBatches: 0, Beta: 0.4, Users: 7, EdgesPerSec: 70},
+	})
+	if total.Shard != -1 || total.Enqueued != 30 || total.Processed != 28 ||
+		total.QueueBatches != 1 || total.Users != 12 || total.EdgesPerSec != 120 {
+		t.Fatalf("aggregate = %+v", total)
+	}
+	if math.Abs(total.Beta-0.3) > 1e-12 {
+		t.Fatalf("mean beta = %v, want 0.3", total.Beta)
+	}
+	if empty := TotalShardStats(nil); empty.Beta != 0 || empty.Enqueued != 0 {
+		t.Fatalf("empty aggregate = %+v", empty)
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	var m RateMeter
+	t0 := time.Unix(1000, 0)
+	if r := m.Observe(100, t0); r != 0 {
+		t.Fatalf("first Observe = %v, want 0 (arming)", r)
+	}
+	if r := m.Observe(600, t0.Add(2*time.Second)); r != 250 {
+		t.Fatalf("rate = %v, want 250", r)
+	}
+	// Zero elapsed time must not divide by zero.
+	if r := m.Observe(700, t0.Add(2*time.Second)); r != 0 {
+		t.Fatalf("zero-interval rate = %v, want 0", r)
+	}
+}

@@ -1,15 +1,3 @@
-// Package pairmon maintains the top-K most similar user pairs within a
-// watched user set over a fully dynamic graph stream — the "mining user
-// similarities" loop from the paper's title, packaged as a reusable
-// component: the paper's §V experiments track exactly such a pair set over
-// time, and applications (friend suggestion, near-duplicate monitoring)
-// consume exactly this ranking.
-//
-// The monitor wraps any similarity.Estimator. Stream elements flow through
-// Process, which forwards to the estimator and marks the touched user
-// dirty; every RefreshEvery elements (and on demand via Refresh) the
-// monitor re-scores only the pairs involving dirty watched users, keeping
-// maintenance cost proportional to churn instead of to the full pair set.
 package pairmon
 
 import (

@@ -1,17 +1,3 @@
-// Package rp implements Random Pairing (Gemulla, Lehner & Haas, VLDB
-// Journal 2008), the bounded-memory uniform sampling scheme for evolving
-// sets, extended per the paper's §III to similarity estimation: each user
-// runs k independent capacity-1 RP samplers, and two users' samples match
-// with probability s_uv/(n_u·n_v), giving the estimator
-//
-//	ŝ_uv = n_u·n_v · (1/k)·Σ_j 1(φ_j(S_u) = φ_j(S_v)).
-//
-// Unlike MinHash/OPH, RP samples remain exactly uniform under deletions
-// (that is the whole point of the algorithm), so RP is the unbiased
-// competitor in the paper's comparison — its weakness is variance: two
-// independent uniform samples rarely collide, so at practical k the
-// estimate is dominated by noise, which is what the paper's Figure 3
-// shows.
 package rp
 
 import (

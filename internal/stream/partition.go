@@ -6,6 +6,19 @@ import (
 	"github.com/vossketch/vos/internal/hashing"
 )
 
+// ShardOf returns the shard in [0, n) that owns user u under the given
+// routing seed. It is the single routing function shared by offline
+// partitioning (PartitionByUser) and online sharded ingestion
+// (internal/engine): anything partitioned with the same n and seed agrees
+// on ownership, so sketches built offline per partition can be merged with
+// an engine's shards.
+func ShardOf(u User, n int, seed uint64) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("stream: shard count %d must be positive", n))
+	}
+	return int(hashing.HashToRange(uint64(u), seed, uint64(n)))
+}
+
 // PartitionByUser splits a stream into n shards by hashing the user ID,
 // preserving each shard's internal order. Because all of a user's
 // elements land in the same shard, every shard is itself a feasible
@@ -22,7 +35,7 @@ func PartitionByUser(edges []Edge, n int, seed uint64) [][]Edge {
 	}
 	shards := make([][]Edge, n)
 	for _, e := range edges {
-		s := hashing.HashToRange(uint64(e.User), seed, uint64(n))
+		s := ShardOf(e.User, n, seed)
 		shards[s] = append(shards[s], e)
 	}
 	return shards

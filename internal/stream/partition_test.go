@@ -78,6 +78,39 @@ func TestPartitionPreservesPerShardOrder(t *testing.T) {
 	}
 }
 
+func TestShardOfAgreesWithPartition(t *testing.T) {
+	edges := makeFeasible([]uint8{1, 2, 3, 4, 5, 250, 7}, []uint8{1, 2, 3, 4, 5, 6, 7})
+	const n, seed = 5, 42
+	shards := PartitionByUser(edges, n, seed)
+	for si, shard := range shards {
+		for _, e := range shard {
+			if got := ShardOf(e.User, n, seed); got != si {
+				t.Fatalf("ShardOf(%d) = %d but PartitionByUser placed it in %d", e.User, got, si)
+			}
+		}
+	}
+	// Different seeds should (generically) route differently somewhere.
+	diff := false
+	for u := User(0); u < 64; u++ {
+		if ShardOf(u, n, 1) != ShardOf(u, n, 2) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("ShardOf ignored its seed")
+	}
+}
+
+func TestShardOfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ShardOf(1, 0, 1)
+}
+
 func TestRoundRobin(t *testing.T) {
 	edges := makeFeasible([]uint8{1, 2, 3, 4, 5, 6}, []uint8{1, 2, 3, 4, 5, 6})
 	shards := RoundRobin(edges, 3)

@@ -1,0 +1,19 @@
+// Package unigraph implements the extension the paper claims in §II:
+// "we focus on bipartite graphs, while our method can be easily extended
+// to regular graphs". In a regular (unipartite) graph stream, elements are
+// user-user edges (u, v, ±) — follows/unfollows between members — and the
+// similarity of interest is the Jaccard coefficient of the two users'
+// *neighbor sets*:
+//
+//	J(N(u), N(v)) = |N(u) ∩ N(v)| / |N(u) ∪ N(v)|,
+//
+// the standard structural-equivalence signal (people who follow the same
+// accounts). The reduction to the bipartite sketch is exactly the one the
+// paper gestures at: each undirected edge (u, v) is two subscriptions —
+// user u subscribes to "item" v and user v subscribes to "item" u — so one
+// graph element becomes two O(1) VOS updates and everything else (queries,
+// estimators, β-correction, merging) carries over unchanged.
+//
+// For directed graphs, construct with Directed(true): an edge (u, v) is
+// then only u subscribing to v, and similarity compares out-neighborhoods.
+package unigraph

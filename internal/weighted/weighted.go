@@ -1,19 +1,3 @@
-// Package weighted implements Improved Consistent Weighted Sampling
-// (Ioffe, ICDM'10), the weighted-MinHash scheme behind the generalized
-// Jaccard similarity the paper's §I surveys ([10]-[13]):
-//
-//	J(x, y) = Σ_i min(x_i, y_i) / Σ_i max(x_i, y_i)
-//
-// for non-negative weight vectors x and y. ICWS draws, per hash function,
-// a sample (i*, t*) such that two vectors produce the same sample with
-// probability exactly J(x, y); k independent hashes give the usual
-// match-fraction estimator.
-//
-// Like MinHash, ICWS is a *sampling* scheme: it extends to streams of
-// weight increments but not decrements, which is precisely the limitation
-// the paper's VOS addresses for the unweighted case. The package is
-// included as the related-work reference implementation; it operates on
-// static weight vectors.
 package weighted
 
 import (

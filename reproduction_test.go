@@ -15,7 +15,7 @@ import (
 // regressions at a reduced (seeded, deterministic) scale: if a code change
 // breaks either the accuracy ordering or the complexity separation, the
 // suite fails. The full-scale versions live in cmd/vosbench and
-// EXPERIMENTS.md.
+// README.md ("Reproducing the paper").
 
 // reproductionOptions is the seeded mid-scale configuration; large enough
 // for the orderings to be stable, small enough for `go test`.

@@ -25,6 +25,14 @@
 // Processing an element is O(1); querying a pair is O(k) for a virtual
 // sketch of k bits.
 //
+// # Scaling out
+//
+// Sketch is single-threaded. ConcurrentSketch adds a read-write mutex for
+// one writer and many readers. Engine shards the stream across N private
+// sketches with one ingest goroutine each and answers queries from an
+// exactly merged snapshot — because VOS merging is exact for any partition
+// of the stream, sharded ingest costs no accuracy. See examples/sharded.
+//
 // # Quick start
 //
 //	sk := vos.MustNew(vos.Config{MemoryBits: 1 << 22, SketchBits: 4096, Seed: 1})
@@ -34,8 +42,8 @@
 //	est := sk.Query(alice, bob)
 //	fmt.Println(est.Common, est.Jaccard)
 //
-// See examples/ for complete programs and DESIGN.md / EXPERIMENTS.md for
-// the reproduction methodology.
+// See examples/ for complete programs and README.md for
+// the architecture map and reproduction methodology.
 package vos
 
 import (
@@ -66,7 +74,8 @@ type Edge = stream.Edge
 
 // Sketch is the VOS sketch. See the package documentation for the model
 // and core.VOS for implementation details. Not safe for concurrent use;
-// see NewConcurrent.
+// see NewConcurrent for a locked wrapper and NewEngine for sharded,
+// multicore ingestion.
 type Sketch = core.VOS
 
 // Config parameterises a Sketch: total shared memory m in bits, virtual
