@@ -293,6 +293,88 @@ func BenchmarkEngineIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineIngestDurable measures the WAL overhead per sync policy:
+// the same ProcessBatch workload as BenchmarkEngineIngest (2 shards)
+// flowing through a durable engine with the write-ahead log enabled. The
+// gap to the memory-only engine is the price of durability; the gap
+// between policies is the price of the fsync schedule — SyncOff pays only
+// the record encode+write, SyncEveryN amortises fsyncs over 4096 edges,
+// SyncEveryBatch fsyncs per 512-edge chunk (acknowledged = durable).
+func BenchmarkEngineIngestDurable(b *testing.B) {
+	edges := ingestStream(b)
+	const chunk = 512
+	policies := []struct {
+		name string
+		d    vos.DurabilityConfig
+	}{
+		{"sync=off", vos.DurabilityConfig{Sync: vos.SyncOff}},
+		{"sync=every4096", vos.DurabilityConfig{Sync: vos.SyncEveryN, SyncEveryN: 4096}},
+		{"sync=everybatch", vos.DurabilityConfig{Sync: vos.SyncEveryBatch}},
+	}
+	for _, p := range policies {
+		b.Run(p.name, func(b *testing.B) {
+			eng, err := vos.OpenEngine(b.TempDir(), vos.EngineConfig{
+				Sketch:     ingestConfig(),
+				Shards:     2,
+				Durability: &p.d,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			var next atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				buf := make([]vos.Edge, 0, chunk)
+				for pb.Next() {
+					i := next.Add(1)
+					buf = append(buf, edges[i%uint64(len(edges))])
+					if len(buf) == chunk {
+						if err := eng.ProcessBatch(buf); err != nil {
+							b.Error(err)
+							return
+						}
+						buf = buf[:0]
+					}
+				}
+				if len(buf) > 0 {
+					if err := eng.ProcessBatch(buf); err != nil {
+						b.Error(err)
+					}
+				}
+			})
+			eng.Flush()
+			b.StopTimer()
+		})
+	}
+}
+
+// BenchmarkCheckpoint measures the stop-the-world cost of persisting the
+// merged sketch at the paper-scale configuration — what a production
+// deployment pays per checkpoint interval.
+func BenchmarkCheckpoint(b *testing.B) {
+	edges := ingestStream(b)
+	eng, err := vos.OpenEngine(b.TempDir(), vos.EngineConfig{
+		Sketch:     ingestConfig(),
+		Shards:     2,
+		Durability: &vos.DurabilityConfig{Sync: vos.SyncOff},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.ProcessBatch(edges[:100_000]); err != nil {
+		b.Fatal(err)
+	}
+	eng.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkQueryCost measures the O(k) pair-query cost of VOS at the
 // paper's accuracy configuration (k = 6400 virtual bits), the counterpart
 // to the O(1) update cost of Figure 2.

@@ -1,7 +1,7 @@
 // Command vosinspect builds, saves, inspects and queries VOS sketches from
-// recorded stream files, demonstrating the production workflow: a stream
-// worker builds and checkpoints the sketch, a query service loads it and
-// answers similarity queries.
+// recorded stream files and engine durability directories, demonstrating
+// the production workflow: a stream worker builds and checkpoints the
+// sketch, a query service loads it and answers similarity queries.
 //
 // Usage:
 //
@@ -13,6 +13,10 @@
 //
 //	# query a user pair against a saved sketch
 //	vosinspect -sketch youtube.vos -query 17,42
+//
+//	# dump an engine durability directory: checkpoint, WAL segments, and
+//	# the recovered (checkpoint + replayed suffix) sketch state
+//	vosinspect -wal /var/lib/vos -query 17,42
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"strings"
 
 	"github.com/vossketch/vos"
+	"github.com/vossketch/vos/internal/wal"
 )
 
 func main() {
@@ -33,12 +38,19 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "sketch seed")
 		out        = flag.String("o", "", "write the built sketch to this file")
 		sketchPath = flag.String("sketch", "", "saved sketch file to inspect/query")
+		walDir     = flag.String("wal", "", "engine durability directory to dump and recover")
 		query      = flag.String("query", "", "user pair to query, as \"u,v\"")
 	)
 	flag.Parse()
 
 	var sk *vos.Sketch
 	switch {
+	case *walDir != "":
+		var err error
+		sk, err = dumpWAL(*walDir, vos.Config{MemoryBits: *memBits, SketchBits: *kBits, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
 	case *streamPath != "":
 		f, err := os.Open(*streamPath)
 		if err != nil {
@@ -101,6 +113,74 @@ func main() {
 		fmt.Printf("  diagnostics:       α = %.4f, β = %.4f, saturated = %v\n",
 			est.Alpha, est.Beta, est.Saturated)
 	}
+}
+
+// dumpWAL prints a durability directory's checkpoint and segment layout,
+// then reconstructs the state an engine would recover: the checkpointed
+// sketch (or a fresh one from cfg when no checkpoint exists) with the WAL
+// suffix replayed into it.
+func dumpWAL(dir string, cfg vos.Config) (*vos.Sketch, error) {
+	pos, skBytes, found, err := wal.LatestCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	var sk *vos.Sketch
+	if found {
+		sk, err = vos.Unmarshal(skBytes)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint at %d: %w", pos, err)
+		}
+		fmt.Printf("checkpoint:  position %d, %d sketch bytes (m=%d k=%d)\n",
+			pos, len(skBytes), sk.MemoryBits(), sk.K())
+	} else {
+		sk, err = vos.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("checkpoint:  none (recovering from WAL alone with -m/-k/-seed config)\n")
+	}
+
+	bases, err := wal.ListSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("wal:         %d segment(s)\n", len(bases))
+	// The recovered position is the checkpoint's if the WAL ends short of
+	// it (possible under SyncOff: covered records lost with the page
+	// cache — engine recovery SkipTo()s the log forward to match).
+	tail := pos
+	for _, base := range bases {
+		info, err := wal.InspectSegment(wal.SegmentPath(dir, base))
+		if err != nil {
+			return nil, err
+		}
+		torn := ""
+		if info.Torn {
+			torn = "  TORN TAIL (discarded on recovery)"
+		}
+		fmt.Printf("  segment @%-12d %6d record(s) %8d edge(s) %8d bytes%s\n",
+			info.Base, info.Records, info.Edges, info.Bytes, torn)
+		if end := info.Base + info.Edges; end > tail {
+			tail = end
+		}
+	}
+
+	// Replay the suffix past the checkpoint, exactly as engine recovery
+	// does, to show the state a restarted engine would serve — read-only,
+	// so inspecting a live or crashed directory changes nothing.
+	replayed := uint64(0)
+	err = wal.ReplayDir(dir, pos, func(_ uint64, edges []vos.Edge) error {
+		for _, e := range edges {
+			sk.Process(e)
+		}
+		replayed += uint64(len(edges))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("recovered:   checkpoint @%d + %d replayed edge(s) -> position %d\n\n", pos, replayed, tail)
+	return sk, nil
 }
 
 func parsePair(s string) (vos.User, vos.User, error) {

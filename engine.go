@@ -3,6 +3,7 @@ package vos
 import (
 	"github.com/vossketch/vos/internal/engine"
 	"github.com/vossketch/vos/internal/metrics"
+	"github.com/vossketch/vos/internal/wal"
 )
 
 // Engine is the sharded, pipelined ingestion engine: N independent Sketch
@@ -39,8 +40,56 @@ func TotalShardStats(stats []ShardStat) ShardStat { return metrics.TotalShardSta
 // ErrEngineClosed is returned by Engine.Process after Engine.Close.
 var ErrEngineClosed = engine.ErrClosed
 
-// NewEngine creates and starts a sharded ingestion engine.
+// NewEngine creates and starts a sharded ingestion engine. With
+// EngineConfig.Durability set it behaves like OpenEngine.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
 
 // MustNewEngine is NewEngine for static configurations; it panics on error.
 func MustNewEngine(cfg EngineConfig) *Engine { return engine.MustNew(cfg) }
+
+// DurabilityConfig enables the engine's write-ahead log and checkpointing:
+// accepted edges are appended to a segmented, CRC-checksummed WAL under
+// Dir before they are routed to the shards, Engine.Checkpoint atomically
+// persists the merged sketch alongside the WAL position it covers, and
+// OpenEngine recovers by loading the newest valid checkpoint and replaying
+// only the WAL suffix. See the README's "Durability & recovery" section.
+type DurabilityConfig = engine.DurabilityConfig
+
+// SyncPolicy selects when WAL appends are fsynced: SyncEveryBatch (an
+// acknowledged batch is durable), SyncEveryN (bounded loss window), or
+// SyncOff (page-cache durability only).
+type SyncPolicy = wal.SyncPolicy
+
+// WAL sync policies for DurabilityConfig.Sync.
+const (
+	// SyncEveryBatch fsyncs after every accepted batch — the default and
+	// safest policy: an acknowledged write survives a crash.
+	SyncEveryBatch = wal.SyncEveryBatch
+	// SyncEveryN fsyncs once at least DurabilityConfig.SyncEveryN edges
+	// have been appended since the last sync; a crash loses at most that
+	// many acknowledged edges.
+	SyncEveryN = wal.SyncEveryN
+	// SyncOff never fsyncs on the append path; durability is whatever the
+	// OS page cache survives. Fastest, for workloads that can re-ingest.
+	SyncOff = wal.SyncOff
+)
+
+// ErrEngineNoDurability is returned by Engine.Checkpoint on a memory-only
+// engine and by OpenEngine when no directory is configured.
+var ErrEngineNoDurability = engine.ErrNoDurability
+
+// OpenEngine starts a durable engine backed by dir: it loads the newest
+// valid checkpoint (if any), replays the WAL suffix past it, and then
+// accepts new edges — so a restarted service resumes from disk instead of
+// re-consuming the graph stream from origin. An empty or absent directory
+// starts fresh. cfg.Durability, if non-nil, supplies the sync policy and
+// segment size; its Dir field is overridden by dir.
+func OpenEngine(dir string, cfg EngineConfig) (*Engine, error) {
+	d := DurabilityConfig{}
+	if cfg.Durability != nil {
+		d = *cfg.Durability
+	}
+	d.Dir = dir
+	cfg.Durability = &d
+	return engine.Open(cfg)
+}

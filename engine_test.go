@@ -1,6 +1,7 @@
 package vos_test
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -39,6 +40,133 @@ func engineTestStream(n, users int, delFrac float64, seed int64) []vos.Edge {
 		out = append(out, vos.Edge{User: k.u, Item: k.i, Op: vos.Insert})
 	}
 	return out
+}
+
+// TestEngineCrashRecoveryParity is the public-API form of the durability
+// guarantee, extending the TestEngineAccuracyParity harness across a
+// crash: ingest half the planted insert+delete stream into a durable
+// engine, hard-stop it (no Flush, no Close), reopen from disk with
+// OpenEngine, finish the stream, and assert the estimates — and the
+// serialized sketch bytes — are bit-identical to an uninterrupted
+// single-sketch run.
+func TestEngineCrashRecoveryParity(t *testing.T) {
+	cfg := vos.Config{MemoryBits: 1 << 19, SketchBits: 1024, Seed: 13}
+	edges := engineTestStream(24_000, 250, 0.3, 6)
+	half := len(edges) / 2
+
+	single := vos.MustNew(cfg)
+	for _, e := range edges {
+		single.Process(e)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			// DisableLock: the crash is simulated in-process, so the
+			// abandoned engine cannot release the directory flock the way
+			// a real process death would.
+			ecfg := vos.EngineConfig{
+				Sketch:     cfg,
+				Shards:     shards,
+				Durability: &vos.DurabilityConfig{DisableLock: true},
+			}
+
+			crashed, err := vos.OpenEngine(dir, ecfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < half; i += 200 {
+				end := i + 200
+				if end > half {
+					end = half
+				}
+				if err := crashed.ProcessBatch(edges[i:end]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Hard stop: the engine is abandoned mid-stream. Every
+			// acknowledged batch is on disk (SyncEveryBatch default).
+
+			eng, err := vos.OpenEngine(dir, ecfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			if err := eng.ProcessBatch(edges[half:]); err != nil {
+				t.Fatal(err)
+			}
+			eng.Flush()
+			for u := vos.User(0); u < 30; u++ {
+				for v := u + 1; v < 30; v += 5 {
+					if got, want := eng.Query(u, v), single.Query(u, v); got != want {
+						t.Fatalf("recovered Query(%d,%d) = %+v, single sketch %+v", u, v, got, want)
+					}
+				}
+			}
+			got, err := eng.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := single.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("recovered engine serializes differently from the uninterrupted sketch")
+			}
+		})
+	}
+}
+
+// TestEngineCheckpointRestart exercises the public checkpoint workflow: a
+// durable engine checkpoints mid-stream, is gracefully closed, and a
+// reopened engine resumes with full parity.
+func TestEngineCheckpointRestart(t *testing.T) {
+	cfg := vos.Config{MemoryBits: 1 << 18, SketchBits: 512, Seed: 29}
+	edges := engineTestStream(10_000, 150, 0.25, 8)
+	dir := t.TempDir()
+	ecfg := vos.EngineConfig{
+		Sketch:     cfg,
+		Shards:     2,
+		Durability: &vos.DurabilityConfig{Sync: vos.SyncEveryN, SyncEveryN: 512},
+	}
+
+	eng, err := vos.OpenEngine(dir, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ProcessBatch(edges[:len(edges)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ProcessBatch(edges[len(edges)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	single := vos.MustNew(cfg)
+	for _, e := range edges {
+		single.Process(e)
+	}
+	reopened, err := vos.OpenEngine(dir, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	for u := vos.User(0); u < 20; u++ {
+		for v := u + 1; v < 20; v += 3 {
+			if got, want := reopened.Query(u, v), single.Query(u, v); got != want {
+				t.Fatalf("reopened Query(%d,%d) = %+v, want %+v", u, v, got, want)
+			}
+		}
+	}
+	if _, err := vos.MustNewEngine(vos.EngineConfig{Sketch: cfg}).Checkpoint(); err != vos.ErrEngineNoDurability {
+		t.Fatalf("Checkpoint on memory-only engine = %v, want ErrEngineNoDurability", err)
+	}
 }
 
 // TestEngineAccuracyParity is the public-API form of the sharding

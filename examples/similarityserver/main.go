@@ -10,6 +10,14 @@
 //	GET  /similarity?u=U&v=V           estimate s_uv and Jaccard
 //	GET  /stats                        merged sketch state (β, memory, users)
 //	GET  /shards                       per-shard ingest counters and load
+//	POST /checkpoint                   persist the merged sketch + WAL position
+//
+// The engine is durable (vos.OpenEngine): accepted events are written to a
+// WAL before they are acknowledged, POST /checkpoint persists the merged
+// sketch and truncates the covered WAL prefix, and startup is restart-safe
+// — it recovers checkpoint + WAL suffix from the data directory, so a
+// crashed or restarted query server resumes without re-consuming the
+// stream from origin.
 //
 // The similarity handler flushes the engine first, trading a little query
 // latency for read-your-writes consistency — the right default for a demo
@@ -17,8 +25,10 @@
 // and serve from a bounded-staleness snapshot (EngineConfig.SnapshotMaxLag).
 //
 // The program starts the server on a local port, drives a simulated
-// workload against it over HTTP, issues a few queries, and shuts down —
-// so `go run ./examples/similarityserver` is self-contained and exits.
+// workload against it over HTTP, checkpoints, hard-stops the server
+// mid-stream (simulating a crash), restarts it from the same directory,
+// and shows the recovered answers match — so `go run
+// ./examples/similarityserver` is self-contained and exits.
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"os"
 	"time"
 
 	"github.com/vossketch/vos"
@@ -89,6 +100,19 @@ func (s *server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	pos, err := s.engine.Checkpoint()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{"position": pos})
+}
+
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.engine.Stats()
 	writeJSON(w, map[string]any{
@@ -130,66 +154,82 @@ func parseID(s string) (uint64, error) {
 	return x, err
 }
 
-func main() {
-	eng, err := vos.NewEngine(vos.EngineConfig{
-		Sketch: vos.Config{
-			MemoryBits: 1 << 22,
-			SketchBits: 4096,
-			Seed:       3,
-		},
-		Shards: 4,
-	})
+// serve starts the HTTP API for a durable engine opened from dir and
+// returns the base URL plus a stop function — the restart-safe startup
+// path: every launch goes through vos.OpenEngine, which recovers whatever
+// checkpoint and WAL suffix the directory holds.
+func serve(dir string, cfg vos.EngineConfig) (base string, stop func(closeEngine bool)) {
+	eng, err := vos.OpenEngine(dir, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer eng.Close()
 	srv := &server{engine: eng}
-
 	mux := http.NewServeMux()
 	mux.HandleFunc("/event", srv.handleEvent)
 	mux.HandleFunc("/similarity", srv.handleSimilarity)
 	mux.HandleFunc("/stats", srv.handleStats)
 	mux.HandleFunc("/shards", srv.handleShards)
+	mux.HandleFunc("/checkpoint", srv.handleCheckpoint)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	base := "http://" + ln.Addr().String()
 	httpSrv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
 			log.Fatal(err)
 		}
 	}()
-	fmt.Printf("similarity service listening on %s (4 ingest shards)\n\n", base)
+	return "http://" + ln.Addr().String(), func(closeEngine bool) {
+		if err := httpSrv.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if closeEngine {
+			if err := eng.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
 
-	// Drive a workload over the wire: two overlapping users plus noise,
-	// including unsubscriptions.
+func main() {
+	dir, err := os.MkdirTemp("", "similarityserver-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cfg := vos.EngineConfig{
+		Sketch: vos.Config{
+			MemoryBits: 1 << 22,
+			SketchBits: 4096,
+			Seed:       3,
+		},
+		Shards: 4,
+		// The crash below is simulated in-process (the first engine is
+		// abandoned, not killed), so it cannot release the directory
+		// flock a real process death would; a production deployment
+		// keeps the lock enabled (the default).
+		Durability: &vos.DurabilityConfig{DisableLock: true},
+	}
+
+	base, stop := serve(dir, cfg)
+	fmt.Printf("similarity service listening on %s (4 ingest shards, WAL in %s)\n\n", base, dir)
+
 	client := &http.Client{Timeout: 5 * time.Second}
-	post := func(user, item uint64, op string) {
-		u := fmt.Sprintf("%s/event?user=%d&item=%d&op=%s", base, user, item, url.QueryEscape(op))
-		resp, err := client.Post(u, "", nil)
+	post := func(path string) string {
+		resp, err := client.Post(base+path, "", nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		resp.Body.Close()
+		defer resp.Body.Close()
+		var buf [1024]byte
+		n, _ := resp.Body.Read(buf[:])
+		return string(buf[:n])
 	}
-	rng := rand.New(rand.NewSource(4))
-	for i := uint64(0); i < 300; i++ {
-		post(1, i, "+")
+	event := func(user, item uint64, op string) {
+		post(fmt.Sprintf("/event?user=%d&item=%d&op=%s", user, item, url.QueryEscape(op)))
 	}
-	for i := uint64(150); i < 450; i++ {
-		post(2, i, "+")
-	}
-	for i := uint64(0); i < 2000; i++ { // background users
-		post(100+i%50, rng.Uint64()%100000, "+")
-	}
-	for i := uint64(150); i < 200; i++ { // user 1 unsubscribes 50 shared
-		post(1, i, "-")
-	}
-	fmt.Println("ingested 2650 events over HTTP (300 + 300 subscriptions, noise, 50 unsubscriptions)")
-
 	get := func(path string) string {
 		resp, err := client.Get(base + path)
 		if err != nil {
@@ -200,16 +240,54 @@ func main() {
 		n, _ := resp.Body.Read(buf[:])
 		return string(buf[:n])
 	}
+
+	// Drive a workload over the wire: two overlapping users plus noise.
+	rng := rand.New(rand.NewSource(4))
+	for i := uint64(0); i < 300; i++ {
+		event(1, i, "+")
+	}
+	for i := uint64(150); i < 450; i++ {
+		event(2, i, "+")
+	}
+	for i := uint64(0); i < 2000; i++ { // background users
+		event(100+i%50, rng.Uint64()%100000, "+")
+	}
+	fmt.Println("ingested 2600 events over HTTP (300 + 300 subscriptions, noise)")
+
+	// Persist the merged sketch; the covered WAL prefix is truncated.
+	fmt.Println("\nPOST /checkpoint")
+	fmt.Println("  " + post("/checkpoint"))
+
+	// More events after the checkpoint: user 1 unsubscribes 50 shared
+	// items. These live only in the WAL suffix.
+	for i := uint64(150); i < 200; i++ {
+		event(1, i, "-")
+	}
+	fmt.Println("ingested 50 post-checkpoint unsubscriptions")
 	fmt.Println("\nGET /similarity?u=1&v=2")
-	fmt.Println("  " + get("/similarity?u=1&v=2"))
+	before := get("/similarity?u=1&v=2")
+	fmt.Println("  " + before)
 	fmt.Println("  (true common items: 100, true Jaccard: 100/450 ≈ 0.222)")
+
+	// Hard-stop the server mid-stream — no graceful engine Close — then
+	// restart from the same directory. Recovery loads the checkpoint and
+	// replays the 50-event WAL suffix.
+	fmt.Println("\n-- simulated crash: stopping server without closing the engine --")
+	stop(false)
+	base, stop = serve(dir, cfg)
+	fmt.Printf("-- restarted from %s --\n\n", dir)
+
+	fmt.Println("GET /similarity?u=1&v=2 (recovered)")
+	after := get("/similarity?u=1&v=2")
+	fmt.Println("  " + after)
+	if after == before {
+		fmt.Println("  recovered answer is identical to the pre-crash answer")
+	} else {
+		fmt.Println("  MISMATCH with pre-crash answer:", before)
+	}
 	fmt.Println("GET /stats")
 	fmt.Println("  " + get("/stats"))
-	fmt.Println("GET /shards")
-	fmt.Println("  " + get("/shards"))
 
-	if err := httpSrv.Close(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("\nserver stopped")
+	stop(true)
+	fmt.Println("\nserver stopped (final checkpoint written on close)")
 }

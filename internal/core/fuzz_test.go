@@ -1,14 +1,16 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/vossketch/vos/internal/stream"
 )
 
 // FuzzUnmarshalVOS throws arbitrary bytes at the sketch decoder: it must
-// never panic, and any sketch it accepts must re-marshal to a decodable
-// form with identical state.
+// never panic, corrupt or truncated input must fail with a typed
+// ErrCorrupt (callers gate recovery fallbacks on it), and any sketch it
+// accepts must re-marshal to a decodable form with identical state.
 func FuzzUnmarshalVOS(f *testing.F) {
 	v := MustNew(Config{MemoryBits: 1024, SketchBits: 64, Seed: 3})
 	v.Process(edgeFor(1, 2, true))
@@ -17,10 +19,23 @@ func FuzzUnmarshalVOS(f *testing.F) {
 	f.Add(seed)
 	f.Add([]byte{})
 	f.Add([]byte("VOS1"))
+	// Truncations at every section boundary of the wire format, plus a
+	// header bit flip — the shapes a torn checkpoint write produces.
+	for _, cut := range []int{3, 4, 12, 28, 36, 52, len(seed) - 1} {
+		if cut >= 0 && cut < len(seed) {
+			f.Add(seed[:cut])
+		}
+	}
+	flipped := append([]byte(nil), seed...)
+	flipped[5] ^= 0x40
+	f.Add(flipped)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := UnmarshalVOS(data)
 		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-ErrCorrupt decode failure: %v", err)
+			}
 			return
 		}
 		re, err := got.MarshalBinary()

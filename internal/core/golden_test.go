@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixture files")
+
+// goldenSketch builds the fixed sketch the VOS1 wire-format fixture pins:
+// a small config with inserts, a delete, and a cancelled-out user, so the
+// fixture exercises the cardinality table and the bit array.
+func goldenSketch() *VOS {
+	v := MustNew(Config{MemoryBits: 512, SketchBits: 32, Seed: 99})
+	for i := uint64(0); i < 8; i++ {
+		v.Process(edgeFor(1, i, true))
+	}
+	for i := uint64(4); i < 10; i++ {
+		v.Process(edgeFor(2, i, true))
+	}
+	v.Process(edgeFor(1, 7, false)) // a real unsubscription
+	v.Process(edgeFor(3, 1, true))  // user 3 cancels out entirely
+	v.Process(edgeFor(3, 1, false))
+	return v
+}
+
+// TestGoldenVOS1Format pins the VOS1 sketch wire format with checked-in
+// fixture bytes: an encoder change surfaces as a byte diff against the
+// fixture, and a decoder change surfaces as a failure to restore it —
+// instead of silent incompatibility with previously checkpointed sketches.
+func TestGoldenVOS1Format(t *testing.T) {
+	path := filepath.Join("testdata", "vos1_sketch.golden")
+	data, err := goldenSketch().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read fixture (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("VOS1 wire format changed: encoder produced %d bytes, fixture has %d.\n"+
+			"If the change is intentional, bump the format magic and regenerate with -update.",
+			len(data), len(want))
+	}
+
+	// The checked-in bytes must also decode to the expected state — this
+	// is what guards decoder drift against sketches already on disk.
+	restored, err := UnmarshalVOS(want)
+	if err != nil {
+		t.Fatalf("decode fixture: %v", err)
+	}
+	ref := goldenSketch()
+	if restored.Config() != ref.Config() || restored.Stats() != ref.Stats() {
+		t.Fatalf("fixture decodes to %+v, want %+v", restored.Stats(), ref.Stats())
+	}
+	if got, want := restored.Cardinality(1), int64(7); got != want {
+		t.Fatalf("fixture Cardinality(1) = %d, want %d", got, want)
+	}
+	if got := restored.Cardinality(3); got != 0 {
+		t.Fatalf("fixture Cardinality(3) = %d, want 0 (cancelled out)", got)
+	}
+	if got, want := restored.Query(1, 2), ref.Query(1, 2); got != want {
+		t.Fatalf("fixture Query(1,2) = %+v, want %+v", got, want)
+	}
+}

@@ -84,6 +84,15 @@ func UnmarshalVOS(data []byte) (*VOS, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A valid payload must carry the whole m-bit array, so m is bounded by
+	// the input size. Check before New allocates: a corrupt (or hostile)
+	// header must produce ErrCorrupt, not an out-of-memory crash.
+	if mem/8 > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: MemoryBits %d cannot fit in %d payload bytes", ErrCorrupt, mem, len(data))
+	}
+	if kBits > mem {
+		return nil, fmt.Errorf("%w: SketchBits %d exceeds MemoryBits %d", ErrCorrupt, kBits, mem)
+	}
 	cfg := Config{MemoryBits: mem, SketchBits: int(kBits), Seed: seed}
 	v, err := New(cfg)
 	if err != nil {

@@ -1,0 +1,191 @@
+package engine
+
+// Durability: the engine's crash-recovery layer, built on internal/wal.
+//
+// When Config.Durability names a directory, every batch accepted by
+// Process/ProcessBatch is appended to a write-ahead log *before* it is
+// routed to the shards, under the configured sync policy. Checkpoint
+// atomically persists the merged sketch together with the WAL position it
+// covers and then deletes fully covered WAL segments; Open loads the
+// newest valid checkpoint and replays only the WAL suffix, so restart cost
+// is proportional to the edges since the last checkpoint, not the whole
+// graph stream.
+//
+// Consistency model. Producers hold walMu.RLock across "append to WAL,
+// then route to shards", and Checkpoint holds walMu.Lock while it captures
+// the WAL position and flushes the shards. Appends therefore never
+// straddle a checkpoint: a checkpoint at position p contains exactly the
+// edges of WAL records [0, p), and replaying the suffix [p, ...) after
+// loading it reconstructs the engine's merged state bit-identically. This
+// matters because VOS updates are XOR toggles — replaying an edge twice
+// (or dropping one) would corrupt parity, so exact positioning is the
+// whole game.
+//
+// The recovered checkpoint is kept as a frozen base sketch rather than
+// being split back into shards (a merged sketch cannot be un-merged).
+// Query paths merge it in: snapshots start from the base, Cardinality adds
+// the base counter, and QueryLocal — whose answer would silently omit base
+// parity bits — disables itself on recovered engines.
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/vossketch/vos/internal/core"
+	"github.com/vossketch/vos/internal/stream"
+	"github.com/vossketch/vos/internal/wal"
+)
+
+// ErrNoDurability is returned by Checkpoint on an engine without a
+// durability directory, and by Open when the config names none.
+var ErrNoDurability = errors.New("engine: no durability directory configured")
+
+// DurabilityConfig enables the write-ahead log and checkpointing.
+type DurabilityConfig struct {
+	// Dir is the log directory (WAL segments + checkpoints). Created if
+	// missing. Required.
+	Dir string
+	// Sync is the WAL fsync policy: wal.SyncEveryBatch (default, an
+	// acknowledged batch is durable), wal.SyncEveryN, or wal.SyncOff.
+	Sync wal.SyncPolicy
+	// SyncEveryN is the edge interval between fsyncs under wal.SyncEveryN.
+	// Default: 4096.
+	SyncEveryN int
+	// SegmentBytes is the WAL segment rotation threshold. Default: 64 MiB.
+	SegmentBytes int64
+	// DisableLock skips the advisory flock that makes a second engine on
+	// the same directory fail fast instead of corrupting the WAL. Only
+	// for filesystems without working flock, or tests that simulate a
+	// crash in-process (where the abandoned engine cannot release the
+	// lock a real process death would).
+	DisableLock bool
+}
+
+// walOptions converts the engine-level knobs to wal.Options.
+func (d *DurabilityConfig) walOptions() wal.Options {
+	return wal.Options{Sync: d.Sync, SyncEveryN: d.SyncEveryN, SegmentBytes: d.SegmentBytes, DisableLock: d.DisableLock}
+}
+
+// Open starts a durable engine from cfg.Durability.Dir: it loads the
+// newest valid checkpoint (if any), opens the WAL (truncating a torn tail
+// left by a crash), replays the WAL suffix past the checkpoint, and only
+// then begins accepting new edges. A directory that has never held an
+// engine starts empty — Open is also how a durable engine starts fresh.
+func Open(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	d := cfg.Durability
+	if d == nil || d.Dir == "" {
+		return nil, ErrNoDurability
+	}
+	ckptPos, skBytes, found, err := wal.LatestCheckpoint(d.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var base *core.VOS
+	if found {
+		base, err = core.UnmarshalVOS(skBytes)
+		if err != nil {
+			return nil, fmt.Errorf("engine: load checkpoint: %w", err)
+		}
+		if base.Config() != cfg.Sketch {
+			return nil, fmt.Errorf("engine: checkpoint sketch config %+v does not match engine config %+v",
+				base.Config(), cfg.Sketch)
+		}
+	}
+	log, err := wal.Open(d.Dir, d.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	// Under SyncOff a crash can lose WAL records the checkpoint already
+	// covers. The content is safe inside the checkpoint; only the position
+	// must not regress, or the next checkpoint would mislabel itself.
+	if log.Pos() < ckptPos {
+		if err := log.SkipTo(ckptPos); err != nil {
+			log.Close()
+			return nil, err
+		}
+	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	e.base = base
+	// Replay the suffix through the routing path directly — the log is not
+	// attached yet, so replayed edges are not re-appended.
+	err = log.Replay(ckptPos, func(_ uint64, edges []stream.Edge) error {
+		e.route(edges)
+		return nil
+	})
+	if err != nil {
+		e.Close()
+		log.Close()
+		return nil, fmt.Errorf("engine: replay: %w", err)
+	}
+	e.Flush()
+	e.log = log
+	return e, nil
+}
+
+// MustOpen is Open for static configurations; it panics on error.
+func MustOpen(cfg Config) *Engine {
+	e, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Checkpoint atomically persists the engine's merged sketch together with
+// the WAL position it covers, then deletes WAL segments every retained
+// checkpoint has covered (the newest two checkpoint files are kept, so
+// the WAL suffix of the older one survives for fallback). It blocks
+// producers for the duration (they queue on the WAL gate), so after it
+// returns the checkpoint covers every edge acknowledged before the call.
+// It returns the covered position.
+func (e *Engine) Checkpoint() (uint64, error) {
+	if e.log == nil {
+		return 0, ErrNoDurability
+	}
+	e.walMu.Lock()
+	defer e.walMu.Unlock()
+	return e.checkpointLocked()
+}
+
+// checkpointLocked is Checkpoint's body. Callers hold walMu exclusively
+// (or, from Close, have already stopped all producers and workers).
+func (e *Engine) checkpointLocked() (uint64, error) {
+	pos := e.log.Pos()
+	// Everything the checkpoint will claim as covered must itself be
+	// durable first, or a crash after segment truncation could lose edges.
+	if err := e.log.Sync(); err != nil {
+		return 0, err
+	}
+	e.Flush()
+	data, err := e.snapshotMaxLag(0).MarshalBinary()
+	if err != nil {
+		return 0, err
+	}
+	if err := wal.WriteCheckpoint(e.cfg.Durability.Dir, pos, data); err != nil {
+		return 0, err
+	}
+	// Rotate first so the segment that was the append target is also
+	// reclaimable, then truncate back to the OLDEST retained checkpoint,
+	// not just the new one: recovery falls back to the previous checkpoint
+	// file if the newest proves unreadable, and that fallback needs its
+	// covering WAL suffix to still exist (replay verifies coverage and
+	// would otherwise refuse).
+	keep := pos
+	if all, err := wal.ListCheckpoints(e.cfg.Durability.Dir); err != nil {
+		return 0, err
+	} else if len(all) > 0 && all[0] < keep {
+		keep = all[0]
+	}
+	if err := e.log.Rotate(); err != nil {
+		return 0, err
+	}
+	if err := e.log.TruncateBefore(keep); err != nil {
+		return 0, err
+	}
+	return pos, nil
+}

@@ -36,6 +36,7 @@ import (
 	"github.com/vossketch/vos/internal/hashing"
 	"github.com/vossketch/vos/internal/metrics"
 	"github.com/vossketch/vos/internal/stream"
+	"github.com/vossketch/vos/internal/wal"
 )
 
 // ErrClosed is returned by Process/ProcessBatch after Close.
@@ -80,6 +81,13 @@ type Config struct {
 	// default) re-merges whenever anything new has been applied, so every
 	// Query is exact with respect to the applied stream.
 	SnapshotMaxLag uint64
+
+	// Durability, when non-nil with a Dir, enables the write-ahead log and
+	// checkpointing (see durability.go): accepted edges are logged before
+	// they are routed, Checkpoint persists the merged sketch, and Open
+	// recovers an engine from the directory. New with Durability set
+	// behaves exactly like Open.
+	Durability *DurabilityConfig
 }
 
 // withDefaults resolves zero fields.
@@ -144,12 +152,32 @@ type Engine struct {
 	snapMu sync.Mutex
 	snap   *core.VOS
 	snapAt []uint64 // per-shard processed counts captured at merge time
+
+	// Durability state (nil/zero on memory-only engines — see
+	// durability.go). log is the write-ahead log; walMu gates appends
+	// against checkpoints: producers hold RLock across append-then-route,
+	// Checkpoint holds Lock, so no batch ever straddles a checkpoint
+	// position. base is the sketch recovered from the newest checkpoint,
+	// frozen after Open: shards hold only post-checkpoint deltas and query
+	// paths merge the base back in.
+	log   *wal.Log
+	walMu sync.RWMutex
+	base  *core.VOS
 }
 
 // New creates and starts an Engine. The configuration is validated the
-// same way core.New validates a sketch.
+// same way core.New validates a sketch. With Config.Durability set, New is
+// Open: it recovers from the directory (or starts it fresh).
 func New(cfg Config) (*Engine, error) {
-	cfg = cfg.withDefaults()
+	if cfg.Durability != nil && cfg.Durability.Dir != "" {
+		return Open(cfg)
+	}
+	return newEngine(cfg.withDefaults())
+}
+
+// newEngine builds a memory-only engine from a resolved config; Open
+// attaches the durability state afterwards.
+func newEngine(cfg Config) (*Engine, error) {
 	batches := (cfg.QueueSize + cfg.BatchSize - 1) / cfg.BatchSize
 	e := &Engine{
 		cfg:    cfg,
@@ -272,18 +300,31 @@ func (s *shard) add(edges []stream.Edge, batchSize int) {
 }
 
 // Process routes one stream element to its owning shard. It blocks only
-// when that shard's queue is full. It must not be called after Close.
+// when that shard's queue is full (or, on durable engines, while a
+// checkpoint is in progress). It must not be called after Close. On a
+// durable engine the edge is WAL-appended — durable per the sync policy —
+// before Process returns; an append error means the edge was not accepted.
 func (e *Engine) Process(ed stream.Edge) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	e.shards[e.ShardOf(ed.User)].add([]stream.Edge{ed}, e.cfg.BatchSize)
+	edges := [1]stream.Edge{ed}
+	if e.log != nil {
+		e.walMu.RLock()
+		defer e.walMu.RUnlock()
+		if err := e.log.Append(edges[:]); err != nil {
+			return err
+		}
+	}
+	e.shards[e.ShardOf(ed.User)].add(edges[:], e.cfg.BatchSize)
 	return nil
 }
 
 // ProcessBatch routes a slice of stream elements, grouping them by owning
 // shard first so each shard's lock is taken once per call rather than once
-// per edge. This is the high-throughput ingest path.
+// per edge. This is the high-throughput ingest path — on durable engines
+// also the efficient one, since the whole slice becomes one WAL record
+// (and, under SyncEveryBatch, one fsync).
 func (e *Engine) ProcessBatch(edges []stream.Edge) error {
 	if e.closed.Load() {
 		return ErrClosed
@@ -291,10 +332,27 @@ func (e *Engine) ProcessBatch(edges []stream.Edge) error {
 	if len(edges) == 0 {
 		return nil
 	}
+	if e.log != nil {
+		// Hold the WAL gate across append-then-route so a concurrent
+		// Checkpoint never captures a position whose edges are not yet in
+		// the shards (see durability.go).
+		e.walMu.RLock()
+		defer e.walMu.RUnlock()
+		if err := e.log.Append(edges); err != nil {
+			return err
+		}
+	}
+	e.route(edges)
+	return nil
+}
+
+// route groups edges by owning shard and hands them over — ProcessBatch
+// minus lifecycle and durability, shared with WAL replay.
+func (e *Engine) route(edges []stream.Edge) {
 	n := len(e.shards)
 	if n == 1 {
 		e.shards[0].add(edges, e.cfg.BatchSize)
-		return nil
+		return
 	}
 	groups := make([][]stream.Edge, n)
 	for _, ed := range edges {
@@ -306,7 +364,6 @@ func (e *Engine) ProcessBatch(edges []stream.Edge) error {
 			e.shards[i].add(g, e.cfg.BatchSize)
 		}
 	}
-	return nil
 }
 
 // Flush blocks until every edge accepted before the call has been applied
@@ -338,7 +395,9 @@ func (e *Engine) Flush() {
 }
 
 // Close flushes buffered edges, stops the workers, and waits for them to
-// exit. It is idempotent. Producers must have stopped calling
+// exit; a durable engine then writes a final checkpoint (truncating the
+// replayed WAL segments) and closes the log, so the next Open replays
+// nothing. Close is idempotent. Producers must have stopped calling
 // Process/ProcessBatch before Close begins.
 func (e *Engine) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
@@ -356,6 +415,15 @@ func (e *Engine) Close() error {
 		close(s.ch)
 	}
 	e.wg.Wait()
+	if e.log != nil {
+		e.walMu.Lock()
+		_, ckptErr := e.checkpointLocked()
+		e.walMu.Unlock()
+		if err := e.log.Close(); ckptErr == nil {
+			ckptErr = err
+		}
+		return ckptErr
+	}
 	return nil
 }
 
@@ -363,6 +431,13 @@ func (e *Engine) Close() error {
 // SnapshotMaxLag edges have been applied since the last merge. The
 // returned sketch is never mutated after publication.
 func (e *Engine) snapshot() *core.VOS {
+	return e.snapshotMaxLag(e.cfg.SnapshotMaxLag)
+}
+
+// snapshotMaxLag is snapshot with an explicit staleness budget; budget 0
+// demands exactness over every applied edge, which Checkpoint and
+// MarshalBinary use to override a relaxed Config.SnapshotMaxLag.
+func (e *Engine) snapshotMaxLag(maxLag uint64) *core.VOS {
 	e.snapMu.Lock()
 	defer e.snapMu.Unlock()
 	if e.snap != nil {
@@ -370,11 +445,18 @@ func (e *Engine) snapshot() *core.VOS {
 		for i, s := range e.shards {
 			lag += s.processed.Load() - e.snapAt[i]
 		}
-		if lag <= e.cfg.SnapshotMaxLag {
+		if lag <= maxLag {
 			return e.snap
 		}
 	}
 	merged := core.MustNew(e.cfg.Sketch)
+	if e.base != nil {
+		// The recovered checkpoint; frozen after Open, identical config by
+		// Open's validation, so the merge cannot fail.
+		if err := merged.Merge(e.base); err != nil {
+			panic(fmt.Sprintf("engine: base merge failed: %v", err))
+		}
+	}
 	for i, s := range e.shards {
 		s.skMu.RLock()
 		e.snapAt[i] = s.processed.Load()
@@ -413,7 +495,14 @@ func (e *Engine) QueryMany(u stream.User, candidates []stream.User) []core.Estim
 // valid — and its contamination term β reflects only the shard's own
 // users, typically less loaded than the global array — but it is not
 // bit-identical to the monolithic baseline, which Query is.
+//
+// On an engine recovered from a checkpoint the pre-checkpoint parity state
+// lives in the frozen base sketch, not in any shard, so the local answer
+// would be wrong; QueryLocal then always reports false.
 func (e *Engine) QueryLocal(u, v stream.User) (core.Estimate, bool) {
+	if e.base != nil {
+		return core.Estimate{}, false
+	}
 	su, sv := e.ShardOf(u), e.ShardOf(v)
 	if su != sv {
 		return core.Estimate{}, false
@@ -424,13 +513,18 @@ func (e *Engine) QueryLocal(u, v stream.User) (core.Estimate, bool) {
 	return s.sk.Query(u, v), true
 }
 
-// Cardinality returns n_u over applied edges. A user's state lives only in
-// its owning shard, so this reads one shard and is exact without a merge.
+// Cardinality returns n_u over applied edges. A user's post-checkpoint
+// state lives only in its owning shard, so this reads one shard (plus the
+// frozen recovery base, when present) and is exact without a merge.
 func (e *Engine) Cardinality(u stream.User) int64 {
 	s := e.shards[e.ShardOf(u)]
 	s.skMu.RLock()
-	defer s.skMu.RUnlock()
-	return s.sk.Cardinality(u)
+	c := s.sk.Cardinality(u)
+	s.skMu.RUnlock()
+	if e.base != nil {
+		c += e.base.Cardinality(u)
+	}
+	return c
 }
 
 // Stats summarises the merged global sketch (see core.VOS.Stats).
@@ -438,10 +532,15 @@ func (e *Engine) Stats() core.Stats {
 	return e.snapshot().Stats()
 }
 
-// MarshalBinary serializes the merged global snapshot; the result restores
-// with core.UnmarshalVOS (or vos.Unmarshal) as a plain single sketch.
+// MarshalBinary serializes the engine's merged state; the result restores
+// with core.UnmarshalVOS (or vos.Unmarshal) as a plain single sketch. It
+// flushes first and then merges with a zero staleness budget, so the bytes
+// cover every edge acknowledged before the call even when
+// Config.SnapshotMaxLag allows stale Query answers — a serialized engine
+// is never behind its acknowledged writes.
 func (e *Engine) MarshalBinary() ([]byte, error) {
-	return e.snapshot().MarshalBinary()
+	e.Flush()
+	return e.snapshotMaxLag(0).MarshalBinary()
 }
 
 // ShardStats reports one health snapshot per shard: ingest counters,

@@ -77,29 +77,57 @@ var binaryMagic = [8]byte{'V', 'O', 'S', 'S', 'T', 'R', 'M', '1'}
 // ErrBadFormat reports a malformed binary stream file.
 var ErrBadFormat = errors.New("stream: bad binary format")
 
+// AppendElement appends the binary encoding of one element — uvarint
+// (user<<1 | opBit), then uvarint item — to buf. This is the single
+// definition of the per-element wire shape, shared by the stream file
+// format (WriteBinary/ReadBinary) and the WAL record payload
+// (internal/wal): the two formats are byte-compatible at the element
+// level by construction, not by parallel maintenance.
+func AppendElement(buf []byte, e Edge) []byte {
+	var scratch [binary.MaxVarintLen64]byte
+	opBit := uint64(0)
+	if e.Op == Delete {
+		opBit = 1
+	}
+	n := binary.PutUvarint(scratch[:], uint64(e.User)<<1|opBit)
+	buf = append(buf, scratch[:n]...)
+	n = binary.PutUvarint(scratch[:], uint64(e.Item))
+	return append(buf, scratch[:n]...)
+}
+
+// DecodeElement decodes one element from the front of data, returning it
+// and the number of bytes consumed; n <= 0 reports truncated or invalid
+// input. The inverse of AppendElement.
+func DecodeElement(data []byte) (Edge, int) {
+	uo, n1 := binary.Uvarint(data)
+	if n1 <= 0 {
+		return Edge{}, 0
+	}
+	it, n2 := binary.Uvarint(data[n1:])
+	if n2 <= 0 {
+		return Edge{}, 0
+	}
+	op := Insert
+	if uo&1 == 1 {
+		op = Delete
+	}
+	return Edge{User: User(uo >> 1), Item: Item(it), Op: op}, n1 + n2
+}
+
 // WriteBinary writes edges in the binary format: magic, element count, then
-// per element two varints — (user<<1 | opBit) and item.
+// each element per AppendElement.
 func WriteBinary(w io.Writer, edges []Edge) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(binaryMagic[:]); err != nil {
 		return err
 	}
-	var buf [binary.MaxVarintLen64]byte
+	var buf [2 * binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], uint64(len(edges)))
 	if _, err := bw.Write(buf[:n]); err != nil {
 		return err
 	}
 	for _, e := range edges {
-		opBit := uint64(0)
-		if e.Op == Delete {
-			opBit = 1
-		}
-		n = binary.PutUvarint(buf[:], uint64(e.User)<<1|opBit)
-		if _, err := bw.Write(buf[:n]); err != nil {
-			return err
-		}
-		n = binary.PutUvarint(buf[:], uint64(e.Item))
-		if _, err := bw.Write(buf[:n]); err != nil {
+		if _, err := bw.Write(AppendElement(buf[:0], e)); err != nil {
 			return err
 		}
 	}
@@ -124,24 +152,21 @@ func ReadBinary(r io.Reader) ([]Edge, error) {
 	if count > sanityCap {
 		return nil, fmt.Errorf("%w: implausible element count %d", ErrBadFormat, count)
 	}
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
 	out := make([]Edge, 0, count)
 	for idx := uint64(0); idx < count; idx++ {
-		uo, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: element %d user: %v", ErrBadFormat, idx, err)
+		e, n := DecodeElement(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: element %d truncated", ErrBadFormat, idx)
 		}
-		it, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: element %d item: %v", ErrBadFormat, idx, err)
-		}
-		op := Insert
-		if uo&1 == 1 {
-			op = Delete
-		}
-		out = append(out, Edge{User: User(uo >> 1), Item: Item(it), Op: op})
+		rest = rest[n:]
+		out = append(out, e)
 	}
 	// Trailing garbage means the file was not produced by WriteBinary.
-	if _, err := br.ReadByte(); err != io.EOF {
+	if len(rest) != 0 {
 		return nil, fmt.Errorf("%w: trailing data after %d elements", ErrBadFormat, count)
 	}
 	return out, nil

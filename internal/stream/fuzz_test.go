@@ -2,21 +2,32 @@ package stream
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
 // FuzzReadBinary exercises the binary decoder with arbitrary input: it
-// must never panic, and everything it accepts must round-trip.
+// must never panic, rejections must carry the typed ErrBadFormat, and
+// everything it accepts must round-trip.
 func FuzzReadBinary(f *testing.F) {
 	var seedBuf bytes.Buffer
 	_ = WriteBinary(&seedBuf, []Edge{{1, 2, Insert}, {3, 4, Delete}})
-	f.Add(seedBuf.Bytes())
+	good := seedBuf.Bytes()
+	f.Add(good)
 	f.Add([]byte{})
 	f.Add([]byte("VOSSTRM1garbage"))
+	f.Add(good[:len(good)-1]) // truncated final varint
+	// Implausible element count — copied, not appended in place: append
+	// to good[:8] would scribble over the backing array the seeds above
+	// alias, corrupting them before fuzzing starts.
+	f.Add(append(append([]byte(nil), good[:8]...), 0xff, 0x7f))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		edges, err := ReadBinary(bytes.NewReader(data))
 		if err != nil {
+			if !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("non-ErrBadFormat decode failure: %v", err)
+			}
 			return
 		}
 		var out bytes.Buffer

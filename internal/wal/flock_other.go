@@ -1,0 +1,11 @@
+//go:build !unix
+
+package wal
+
+// Non-unix builds have no flock(2); the directory lock degrades to a
+// no-op and single-writer discipline is the operator's responsibility.
+type dirLock struct{}
+
+func acquireDirLock(string) (*dirLock, error) { return &dirLock{}, nil }
+
+func (l *dirLock) release() error { return nil }

@@ -1,0 +1,32 @@
+//go:build unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// dirLock is an advisory exclusive lock on the log directory, held via
+// flock(2) on a lock file. Two live Logs appending to one directory would
+// interleave frames and corrupt the segment, so Open fails fast instead.
+// The kernel drops the lock when the holding process dies, so a crashed
+// engine never wedges its own recovery — the reason this is flock rather
+// than an O_EXCL lock file, which a crash would leave stale.
+type dirLock struct{ f *os.File }
+
+func acquireDirLock(dir string) (*dirLock, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %s is locked by another live log (%v)", dir, err)
+	}
+	return &dirLock{f: f}, nil
+}
+
+func (l *dirLock) release() error { return l.f.Close() }

@@ -1,0 +1,127 @@
+package wal
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/vossketch/vos/internal/stream"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixture files")
+
+// goldenBatches are the fixed records the WAL-segment fixture pins.
+func goldenBatches() [][]stream.Edge {
+	return [][]stream.Edge{
+		{
+			{User: 1, Item: 10, Op: stream.Insert},
+			{User: 2, Item: 10, Op: stream.Insert},
+			{User: 1, Item: 11, Op: stream.Insert},
+		},
+		{
+			{User: 1, Item: 10, Op: stream.Delete},
+			{User: 300, Item: 70_000, Op: stream.Insert},
+		},
+		{
+			{User: 1 << 40, Item: 1 << 50, Op: stream.Delete},
+		},
+	}
+}
+
+// writeGoldenSegment produces the fixture's segment file in a temp dir and
+// returns its bytes.
+func writeGoldenSegment(t *testing.T) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range goldenBatches() {
+		if err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, segName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestGoldenSegmentFormat pins the WAL segment wire format (magic, base
+// header, length+CRC frames, varint payload) with checked-in fixture
+// bytes, so a format break is caught as a diff rather than as a silent
+// inability to replay old logs after an upgrade.
+func TestGoldenSegmentFormat(t *testing.T) {
+	path := filepath.Join("testdata", "segment.golden")
+	data := writeGoldenSegment(t)
+	if *updateGolden {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read fixture (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("WAL segment format changed: writer produced %d bytes, fixture has %d.\n"+
+			"If the change is intentional, bump the segment magic and regenerate with -update.",
+			len(data), len(want))
+	}
+
+	// The checked-in bytes must replay to the exact recorded stream.
+	tmp := filepath.Join(t.TempDir(), segName(0))
+	if err := os.WriteFile(tmp, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]stream.Edge
+	if err := readSegment(tmp, func(edges []stream.Edge) error {
+		got = append(got, append([]stream.Edge(nil), edges...))
+		return nil
+	}); err != nil {
+		t.Fatalf("replay fixture: %v", err)
+	}
+	wantBatches := goldenBatches()
+	if len(got) != len(wantBatches) {
+		t.Fatalf("fixture replays %d records, want %d", len(got), len(wantBatches))
+	}
+	for i := range wantBatches {
+		if len(got[i]) != len(wantBatches[i]) {
+			t.Fatalf("record %d has %d edges, want %d", i, len(got[i]), len(wantBatches[i]))
+		}
+		for j := range wantBatches[i] {
+			if got[i][j] != wantBatches[i][j] {
+				t.Fatalf("record %d edge %d = %v, want %v", i, j, got[i][j], wantBatches[i][j])
+			}
+		}
+	}
+}
+
+// TestGoldenCheckpointFormat pins the checkpoint frame the same way.
+func TestGoldenCheckpointFormat(t *testing.T) {
+	path := filepath.Join("testdata", "checkpoint.golden")
+	data := EncodeCheckpoint(123_456, []byte("embedded sketch payload"))
+	if *updateGolden {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read fixture (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatal("checkpoint frame format changed; bump the magic and regenerate with -update if intentional")
+	}
+	pos, sketch, err := DecodeCheckpoint(want)
+	if err != nil || pos != 123_456 || string(sketch) != "embedded sketch payload" {
+		t.Fatalf("fixture decodes to pos=%d sketch=%q err=%v", pos, sketch, err)
+	}
+}

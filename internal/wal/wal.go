@@ -1,0 +1,792 @@
+// Package wal implements the durability layer of the sharded VOS engine: a
+// segmented, CRC-checksummed write-ahead log of edge operations plus an
+// atomically written checkpoint of the merged sketch, so an engine can
+// restart from disk and replay only the stream suffix instead of the whole
+// graph stream.
+//
+// Layout of a log directory:
+//
+//	wal-<base>.seg        segments; <base> is the stream position (total
+//	                      edges appended before this segment) in 20 decimal
+//	                      digits, so lexicographic order is replay order
+//	checkpoint-<pos>.ckpt checkpoints; <pos> is the stream position the
+//	                      snapshot covers
+//
+// Segment format: an 8-byte magic "VOSWAL01", the u64 little-endian base
+// position, then records. Each record frames one appended batch:
+//
+//	u32 LE payload length | u32 LE CRC-32C of payload | payload
+//
+// where the payload is a uvarint edge count followed by count edges in the
+// stream binary-codec shape — uvarint (user<<1 | opBit), uvarint item. The
+// CRC makes torn or bit-rotted tails detectable: iteration stops cleanly at
+// the first invalid frame of the last segment (a crash mid-append), and
+// Open truncates that tail so the file ends at a record boundary again.
+//
+// Checkpoint format: an 8-byte magic "VOSCKPT1", u64 LE position, u64 LE
+// sketch length, the sketch bytes (core.VOS.MarshalBinary), and a trailing
+// u32 LE CRC-32C over everything before it. Checkpoints are written to a
+// temp file, fsynced, and renamed into place, so a crash mid-checkpoint
+// leaves the previous checkpoint intact.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// ErrCorrupt reports an invalid WAL record or checkpoint outside the
+// tolerated torn tail of the last segment.
+var ErrCorrupt = errors.New("wal: corrupt data")
+
+// ErrClosed is returned by Append/Sync after Close.
+var ErrClosed = errors.New("wal: closed")
+
+// SyncPolicy selects when appended records are fsynced to disk.
+type SyncPolicy int
+
+const (
+	// SyncEveryBatch fsyncs after every Append: an acknowledged batch is
+	// durable. The safest and slowest policy; the default.
+	SyncEveryBatch SyncPolicy = iota
+	// SyncEveryN fsyncs once at least Options.SyncEveryN edges have been
+	// appended since the last sync: a crash loses at most that many
+	// acknowledged edges.
+	SyncEveryN
+	// SyncOff never fsyncs on the append path (only on rotation, Sync and
+	// Close): durability is whatever the OS page cache survives.
+	SyncOff
+)
+
+// String names the policy for logs and benchmarks.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncEveryBatch:
+		return "everybatch"
+	case SyncEveryN:
+		return "everyN"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// Options parameterise a Log. The zero value selects defaults.
+type Options struct {
+	// Sync is the fsync policy for the append path. Default: SyncEveryBatch.
+	Sync SyncPolicy
+	// SyncEveryN is the edge interval between fsyncs under the SyncEveryN
+	// policy. Default: 4096.
+	SyncEveryN int
+	// SegmentBytes is the rotation threshold: a segment that has grown past
+	// this many bytes is closed and a new one started before the next
+	// append. Default: 64 MiB.
+	SegmentBytes int64
+	// DisableLock skips the advisory flock on the directory that makes a
+	// second concurrent Open fail fast. Single-writer discipline then
+	// falls on the caller. Meant for filesystems without working flock
+	// (some NFS mounts) and for in-process crash-simulation tests, where
+	// the "crashed" owner cannot release the lock a real process death
+	// would.
+	DisableLock bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEveryN <= 0 {
+		o.SyncEveryN = 4096
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+var segMagic = [8]byte{'V', 'O', 'S', 'W', 'A', 'L', '0', '1'}
+
+const segHeaderLen = 8 + 8 // magic + base position
+
+// segPrefix/segSuffix name segment files; ckptPrefix/ckptSuffix name
+// checkpoint files.
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	ckptPrefix = "checkpoint-"
+	ckptSuffix = ".ckpt"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// segName returns the filename of the segment with the given base position.
+func segName(base uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, base, segSuffix)
+}
+
+// SegmentPath returns the path of the segment with the given base position
+// — the naming scheme in one place, for tools pairing it with
+// ListSegments and InspectSegment.
+func SegmentPath(dir string, base uint64) string {
+	return filepath.Join(dir, segName(base))
+}
+
+// parseSeq extracts the position from a segment or checkpoint filename,
+// reporting ok=false for files that are neither.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	if len(mid) != 20 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// appendEdges encodes edges in the record payload shape: a uvarint count
+// followed by stream.AppendElement for each edge — the same element
+// encoding as the binary stream file format.
+func appendEdges(buf []byte, edges []stream.Edge) []byte {
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], uint64(len(edges)))
+	buf = append(buf, scratch[:n]...)
+	for _, e := range edges {
+		buf = stream.AppendElement(buf, e)
+	}
+	return buf
+}
+
+// DecodeEdges decodes one record payload. It is the inverse of the payload
+// encoding Append writes, exposed for fuzzing and inspection tools.
+func DecodeEdges(payload []byte) ([]stream.Edge, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad record count", ErrCorrupt)
+	}
+	payload = payload[n:]
+	// Each edge takes at least two bytes, which bounds plausible counts —
+	// checked before allocating, since inspection tools hand this decoder
+	// non-CRC-validated input.
+	if count > uint64(len(payload))/2 {
+		return nil, fmt.Errorf("%w: implausible record count %d", ErrCorrupt, count)
+	}
+	out := make([]stream.Edge, 0, count)
+	for i := uint64(0); i < count; i++ {
+		e, n := stream.DecodeElement(payload)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: edge %d truncated", ErrCorrupt, i)
+		}
+		payload = payload[n:]
+		out = append(out, e)
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(payload))
+	}
+	return out, nil
+}
+
+// Log is an append-only, segmented edge log. All methods are safe for
+// concurrent use; appends are serialized internally.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // current segment, nil after Close
+	lock     *dirLock // exclusive directory lock, nil when disabled
+	size     int64    // bytes written to the current segment
+	base     uint64   // stream position of the current segment's first edge
+	pos      uint64   // total edges appended across all segments
+	unsynced int      // edges appended since the last fsync
+	closed   bool
+	failed   error  // sticky: set when the segment may hold garbage bytes
+	buf      []byte // reusable record encode buffer
+}
+
+// Open opens (creating if needed) the log directory, takes an exclusive
+// advisory lock on it (unless Options.DisableLock), scans existing
+// segments, truncates a torn tail left by a crash, and positions the log
+// for appending after the last valid record. A directory already locked
+// by another live Log fails fast — two appenders would corrupt it.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts}
+	if !opts.DisableLock {
+		lock, err := acquireDirLock(dir)
+		if err != nil {
+			return nil, err
+		}
+		l.lock = lock
+	}
+	fail := func(err error) (*Log, error) {
+		if l.lock != nil {
+			l.lock.release()
+		}
+		return nil, err
+	}
+	segs, err := ListSegments(dir)
+	if err != nil {
+		return fail(err)
+	}
+	if len(segs) == 0 {
+		if err := l.startSegment(0); err != nil {
+			return fail(err)
+		}
+		return l, nil
+	}
+	// Reopen the last segment for appending: scan its records, drop the
+	// torn tail if any, and derive the log position.
+	last := segs[len(segs)-1]
+	if fi, err := os.Stat(filepath.Join(dir, segName(last))); err == nil && fi.Size() < segHeaderLen {
+		// A crash between segment creation and header durability leaves a
+		// short file. No acknowledged record can live in it — appends only
+		// follow a synced header — so recreate it in place rather than
+		// bricking recovery with ErrCorrupt.
+		if err := l.startSegment(last); err != nil {
+			return fail(err)
+		}
+		l.pos = last
+		return l, nil
+	}
+	edges, validLen, err := scanSegment(filepath.Join(dir, segName(last)))
+	if err != nil {
+		return fail(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segName(last)), os.O_RDWR, 0o644)
+	if err != nil {
+		return fail(err)
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > validLen {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return fail(err)
+		}
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return fail(err)
+	}
+	l.f = f
+	l.size = validLen
+	l.base = last
+	l.pos = last + edges
+	return l, nil
+}
+
+// createSegment creates, headers, and syncs a fresh segment file whose
+// first edge will have the given stream position, returning it open for
+// appending.
+func createSegment(dir string, base uint64) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, segName(base)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [segHeaderLen]byte
+	copy(hdr[:8], segMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], base)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// The directory entry must be durable too: without this, a crash can
+	// drop the whole file even though later appends fsynced it — losing
+	// every acknowledged record in the segment.
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// startSegment is createSegment plus installing the segment as the append
+// target. Callers hold l.mu (or own l exclusively) and must not have a
+// live l.f (Open and recovery paths).
+func (l *Log) startSegment(base uint64) error {
+	f, err := createSegment(l.dir, base)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.size = segHeaderLen
+	l.base = base
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and file creations in it survive
+// a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// rotate closes the current segment (fsyncing it) and starts the next one
+// at the current position. The new segment is created before the old one
+// is released: a transient failure (say, ENOSPC) leaves the log appending
+// to the old segment and retryable, never wedged on a closed file.
+// Callers hold l.mu.
+func (l *Log) rotate() error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	nf, err := createSegment(l.dir, l.pos)
+	if err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		nf.Close()
+		return err
+	}
+	l.f = nf
+	l.size = segHeaderLen
+	l.base = l.pos
+	l.unsynced = 0
+	return nil
+}
+
+// Append writes one record holding the batch and advances the position by
+// len(edges). Whether the record is durable when Append returns depends on
+// the sync policy. Empty batches are a no-op.
+//
+// A failed write is rolled back: the segment is truncated to the last
+// record boundary so a partial frame cannot sit mid-file masquerading as a
+// torn tail (which would make recovery silently discard every later,
+// acknowledged record). If even the rollback fails, the log latches the
+// error and refuses further appends.
+func (l *Log) Append(edges []stream.Edge) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	// The frame length field is 32-bit. An element encodes to at most 20
+	// bytes, so this cap keeps any accepted payload comfortably below
+	// 4 GiB — a larger batch must be rejected loudly, not written with a
+	// wrapped length that recovery would discard as a torn tail.
+	const maxBatchEdges = (1<<32 - 64) / 20
+	if len(edges) > maxBatchEdges {
+		return fmt.Errorf("wal: batch of %d edges exceeds the %d-edge record limit; split it", len(edges), maxBatchEdges)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.failed != nil {
+		return l.failed
+	}
+	if l.size >= l.opts.SegmentBytes {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	// One buffer, one Write call: frame header and payload land together
+	// or are rolled back together.
+	rec := append(l.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	rec = appendEdges(rec, edges)
+	payload := rec[8:]
+	binary.LittleEndian.PutUint32(rec[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := l.f.Write(rec); err != nil {
+		// The file may now hold a partial frame past l.size. Cut it back
+		// to the record boundary; later appends then resume cleanly.
+		if terr := l.f.Truncate(l.size); terr != nil {
+			l.failed = fmt.Errorf("wal: append failed (%v) and rollback failed (%v): log is poisoned", err, terr)
+			return l.failed
+		}
+		if _, serr := l.f.Seek(l.size, io.SeekStart); serr != nil {
+			l.failed = fmt.Errorf("wal: append failed (%v) and reseek failed (%v): log is poisoned", err, serr)
+			return l.failed
+		}
+		return err
+	}
+	prevSize, prevUnsynced := l.size, l.unsynced
+	l.buf = rec[:0]
+	l.size += int64(len(rec))
+	l.pos += uint64(len(edges))
+	l.unsynced += len(edges)
+	needSync := l.opts.Sync == SyncEveryBatch ||
+		(l.opts.Sync == SyncEveryN && l.unsynced >= l.opts.SyncEveryN)
+	if !needSync {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		// The caller treats an Append error as "batch not accepted", so the
+		// record must not survive in the log: leaving it would let Pos()
+		// count edges the engine never routed (a later checkpoint would
+		// then claim to cover them while its sketch lacks them), and a
+		// caller retry would append the batch twice (XOR replay then
+		// erases it). Roll everything back to the acknowledged boundary.
+		if terr := l.f.Truncate(prevSize); terr != nil {
+			l.failed = fmt.Errorf("wal: fsync failed (%v) and rollback failed (%v): log is poisoned", err, terr)
+			return l.failed
+		}
+		if _, serr := l.f.Seek(prevSize, io.SeekStart); serr != nil {
+			l.failed = fmt.Errorf("wal: fsync failed (%v) and reseek failed (%v): log is poisoned", err, serr)
+			return l.failed
+		}
+		l.size = prevSize
+		l.pos -= uint64(len(edges))
+		l.unsynced = prevUnsynced
+		return err
+	}
+	l.unsynced = 0
+	return nil
+}
+
+// Pos returns the stream position: the total number of edges appended over
+// the log's lifetime (surviving restarts).
+func (l *Log) Pos() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pos
+}
+
+// Rotate closes the current segment and starts a fresh one at the current
+// position, if the current segment holds any records. Checkpointing
+// rotates before truncating so the whole covered prefix — including what
+// was the append target — becomes reclaimable.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.size <= segHeaderLen {
+		return nil
+	}
+	return l.rotate()
+}
+
+// Sync fsyncs the current segment regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.failed != nil {
+		return l.failed
+	}
+	// Reset the counter only on success: a failed fsync must leave the
+	// SyncEveryN schedule armed, or the loss window silently widens.
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.unsynced = 0
+	return nil
+}
+
+// Close fsyncs and closes the current segment and releases the directory
+// lock. Further appends fail with ErrClosed. Close is idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	if l.lock != nil {
+		if lerr := l.lock.release(); err == nil {
+			err = lerr
+		}
+	}
+	return err
+}
+
+// SkipTo advances an empty-suffix log to position pos by starting a fresh
+// segment there. It is used on recovery when a checkpoint is ahead of the
+// surviving WAL (possible under SyncOff): the covered-but-lost records are
+// unneeded, but the position must not regress or later checkpoints would
+// mislabel their coverage. It is an error to skip backwards.
+func (l *Log) SkipTo(pos uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if pos < l.pos {
+		return fmt.Errorf("wal: SkipTo(%d) would regress position %d", pos, l.pos)
+	}
+	if pos == l.pos {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	// Create-then-close, like rotate: a failure leaves the log usable.
+	nf, err := createSegment(l.dir, pos)
+	if err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		nf.Close()
+		return err
+	}
+	l.f = nf
+	l.size = segHeaderLen
+	l.base = pos
+	l.pos = pos
+	return nil
+}
+
+// TruncateBefore deletes segments every edge of which lies below pos —
+// i.e. segments fully covered by a checkpoint at pos. The segment
+// containing pos (and later ones) survive; the current segment is never
+// deleted. Call after a successful checkpoint to bound replay work.
+func (l *Log) TruncateBefore(pos uint64) error {
+	l.mu.Lock()
+	cur := l.base
+	l.mu.Unlock()
+	segs, err := ListSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for i, base := range segs {
+		// A segment's coverage ends at the next segment's base.
+		if i+1 >= len(segs) || segs[i+1] > pos || base >= cur {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(base))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Replay invokes fn for every record whose edges all lie at or after from,
+// in append order, passing the record's starting position. Records fully
+// below from are skipped; a record straddling from is a corruption (records
+// are the checkpoint granularity, so a checkpoint position always falls on
+// a record boundary). The torn tail of the last segment, if Open has not
+// already truncated it, is ignored.
+func (l *Log) Replay(from uint64, fn func(pos uint64, edges []stream.Edge) error) error {
+	return ReplayDir(l.dir, from, fn)
+}
+
+// ReplayDir is Replay over a directory that is not opened for appending —
+// a strictly read-only walk for inspection tools (Open truncates torn
+// tails and creates the first segment; ReplayDir mutates nothing).
+//
+// Coverage of [from, end-of-log) is verified, not assumed: the first
+// replayed segment must begin at or before from, and each later segment
+// must begin exactly where the previous one ended. A hole — e.g. a
+// truncated prefix after falling back to an older checkpoint whose
+// covering segments are gone — fails with ErrCorrupt instead of silently
+// replaying around the missing edges (XOR state would be wrong with no
+// symptom).
+func ReplayDir(dir string, from uint64, fn func(pos uint64, edges []stream.Edge) error) error {
+	segs, err := ListSegments(dir)
+	if err != nil {
+		return err
+	}
+	started := false
+	var next uint64 // end position of the previously replayed segment
+	for i, base := range segs {
+		if i+1 < len(segs) && segs[i+1] <= from {
+			continue // entire segment below the replay point
+		}
+		if !started {
+			if base > from {
+				return fmt.Errorf("%w: WAL starts at %d, past replay point %d — records [%d,%d) are missing",
+					ErrCorrupt, base, from, from, base)
+			}
+			started = true
+		} else if base != next {
+			return fmt.Errorf("%w: segment gap: expected base %d, found %d", ErrCorrupt, next, base)
+		}
+		path := filepath.Join(dir, segName(base))
+		pos := base
+		last := i == len(segs)-1
+		err := readSegment(path, func(edges []stream.Edge) error {
+			recBase := pos
+			pos += uint64(len(edges))
+			if pos <= from {
+				return nil
+			}
+			if recBase < from {
+				return fmt.Errorf("%w: record [%d,%d) straddles replay point %d", ErrCorrupt, recBase, pos, from)
+			}
+			return fn(recBase, edges)
+		})
+		next = pos
+		if err != nil {
+			// Torn tails are tolerated only where a crash can leave one:
+			// the final segment.
+			if errors.Is(err, errTornTail) && last {
+				return nil
+			}
+			if errors.Is(err, errTornTail) {
+				return fmt.Errorf("%w: segment %s has a torn tail but is not last", ErrCorrupt, segName(base))
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// errTornTail distinguishes an incomplete/corrupt trailing frame (crash
+// artifact, tolerable in the last segment) from structural corruption.
+var errTornTail = errors.New("wal: torn tail")
+
+// readSegment streams a segment's records through fn. It returns
+// errTornTail when the file ends in an incomplete or checksum-failing
+// frame, after delivering all preceding valid records.
+func readSegment(path string, fn func(edges []stream.Edge) error) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	_, err = readSegmentBytes(data, filepath.Base(path), fn)
+	return err
+}
+
+// readSegmentBytes is readSegment over bytes already in memory; name is
+// only for error messages. consumed is the on-disk extent of the valid
+// prefix (header plus whole valid frames) — the authoritative truncation
+// offset, measured from the actual bytes rather than re-derived by
+// re-encoding (a CRC-valid frame with non-minimal varints would re-encode
+// to a different length).
+func readSegmentBytes(data []byte, name string, fn func(edges []stream.Edge) error) (consumed int64, err error) {
+	if len(data) < segHeaderLen {
+		// Shorter than a header: a crash between segment creation and
+		// header durability (the artifact Open recreates in place) — a
+		// torn tail holding nothing, not structural corruption.
+		return 0, errTornTail
+	}
+	if [8]byte(data[:8]) != segMagic {
+		return 0, fmt.Errorf("%w: %s: bad segment header", ErrCorrupt, name)
+	}
+	consumed = segHeaderLen
+	data = data[segHeaderLen:]
+	for len(data) > 0 {
+		if len(data) < 8 {
+			return consumed, errTornTail
+		}
+		plen := binary.LittleEndian.Uint32(data[:4])
+		want := binary.LittleEndian.Uint32(data[4:8])
+		if uint64(len(data)-8) < uint64(plen) {
+			return consumed, errTornTail
+		}
+		payload := data[8 : 8+plen]
+		if crc32.Checksum(payload, crcTable) != want {
+			return consumed, errTornTail
+		}
+		edges, err := DecodeEdges(payload)
+		if err != nil {
+			// The CRC matched, so this is not a torn write: the writer and
+			// reader disagree about the payload shape.
+			return consumed, err
+		}
+		if err := fn(edges); err != nil {
+			return consumed, err
+		}
+		data = data[8+plen:]
+		consumed += int64(8 + plen)
+	}
+	return consumed, nil
+}
+
+// scanSegment walks a segment counting edges and measuring the byte length
+// of its valid prefix, tolerating a torn tail.
+func scanSegment(path string) (edges uint64, validLen int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	validLen, err = readSegmentBytes(data, filepath.Base(path), func(batch []stream.Edge) error {
+		edges += uint64(len(batch))
+		return nil
+	})
+	if errors.Is(err, errTornTail) {
+		err = nil
+	}
+	return edges, validLen, err
+}
+
+// SegmentInfo summarises one on-disk segment for inspection tools.
+type SegmentInfo struct {
+	Base    uint64 // stream position of the first edge
+	Records int
+	Edges   uint64
+	Bytes   int64
+	Torn    bool // ends in an incomplete or checksum-failing frame
+}
+
+// ListSegments returns the base positions of the directory's segments in
+// ascending order.
+func ListSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, ent := range ents {
+		if base, ok := parseSeq(ent.Name(), segPrefix, segSuffix); ok {
+			out = append(out, base)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// InspectSegment summarises one segment file, tolerating a torn tail —
+// including the header-less file a crash during segment creation leaves
+// (reported as Torn with the base taken from the filename), so inspection
+// works on exactly the crashed directories it exists for.
+func InspectSegment(path string) (SegmentInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return SegmentInfo{}, err
+	}
+	if len(data) < segHeaderLen {
+		base, _ := parseSeq(filepath.Base(path), segPrefix, segSuffix)
+		return SegmentInfo{Base: base, Bytes: int64(len(data)), Torn: true}, nil
+	}
+	if [8]byte(data[:8]) != segMagic {
+		return SegmentInfo{}, fmt.Errorf("%w: bad segment header", ErrCorrupt)
+	}
+	info := SegmentInfo{
+		Base:  binary.LittleEndian.Uint64(data[8:16]),
+		Bytes: int64(len(data)),
+	}
+	_, err = readSegmentBytes(data, filepath.Base(path), func(edges []stream.Edge) error {
+		info.Records++
+		info.Edges += uint64(len(edges))
+		return nil
+	})
+	if errors.Is(err, errTornTail) {
+		info.Torn = true
+		err = nil
+	}
+	return info, err
+}
