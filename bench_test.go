@@ -14,6 +14,7 @@ package vos_test
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"testing"
 
@@ -386,6 +387,146 @@ func BenchmarkQueryCost(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = sk.Query(1, 2)
+		estimateSink = sk.Query(1, 2)
 	}
+}
+
+// estimateSink keeps query results live so the inliner cannot delete the
+// measured work.
+var estimateSink vos.Estimate
+
+// querySketch builds the paper-scale read-path fixture: m = 2^24, k =
+// 6400, a probe user (1) plus 1000 candidate users (2..1001) with planted
+// subscriptions, the top-N-of-1000 shape the materialized path is built
+// for.
+func querySketch(b *testing.B) (*vos.Sketch, []vos.User) {
+	b.Helper()
+	sk := vos.MustNew(vos.Config{MemoryBits: 1 << 24, SketchBits: 6400, Seed: 1})
+	for i := 0; i < 500; i++ {
+		sk.Process(vos.Edge{User: 1, Item: vos.Item(i), Op: vos.Insert})
+	}
+	candidates := make([]vos.User, 1000)
+	for c := 0; c < 1000; c++ {
+		u := vos.User(c + 2)
+		candidates[c] = u
+		for i := 0; i < 20; i++ {
+			// Overlap the probe's item range so Jaccard varies by candidate.
+			sk.Process(vos.Edge{User: u, Item: vos.Item(c + i*30), Op: vos.Insert})
+		}
+	}
+	return sk, candidates
+}
+
+// BenchmarkQueryPair compares one pair query on the three read paths: the
+// scalar per-bit baseline (2k seeded hashes + 2k single-bit probes), the
+// uncached materialized path (batched hashing, packed gather, word-level
+// XOR/popcount), and the warm materialized path (position tables and
+// packed recovered sketches cached, so a repeat pair comparison on a
+// quiescent sketch is ~k/64 word operations). All three return
+// bit-identical estimates (TestQueryParityPerBitVsMaterialized).
+func BenchmarkQueryPair(b *testing.B) {
+	sk, _ := querySketch(b)
+	b.Run("perbit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			estimateSink = sk.QueryPerBit(1, 2)
+		}
+	})
+	b.Run("materialized-nocache", func(b *testing.B) {
+		sk.SetPositionCache(nil)
+		sk.SetRecoveredCacheCapacity(-1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			estimateSink = sk.Query(1, 2)
+		}
+	})
+	b.Run("materialized-warm", func(b *testing.B) {
+		sk.EnablePositionCache(16)
+		sk.SetRecoveredCacheCapacity(0) // default
+		sk.Query(1, 2)                  // warm both caches
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			estimateSink = sk.Query(1, 2)
+		}
+		sk.SetPositionCache(nil)
+	})
+}
+
+// topKSink keeps top-K results live.
+var topKSink []vos.TopKResult
+
+// BenchmarkTopK measures the issue's headline workload — top 10 of 1000
+// candidates at the paper-scale configuration — on the per-bit baseline
+// (per-pair scalar queries plus a full sort, the pre-materialization
+// TopSimilar shape), the sequential materialized heap (cold and warm
+// position cache), and the engine's parallel fan-out over the merged
+// snapshot. All paths return identical rankings and estimates.
+func BenchmarkTopK(b *testing.B) {
+	sk, candidates := querySketch(b)
+	const n = 10
+	b.Run("perbit-sort-baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ests := make([]vos.Estimate, len(candidates))
+			for c, w := range candidates {
+				ests[c] = sk.QueryPerBit(1, w)
+			}
+			idx := make([]int, len(candidates))
+			for c := range idx {
+				idx[c] = c
+			}
+			sort.Slice(idx, func(x, y int) bool {
+				if ests[idx[x]].Jaccard != ests[idx[y]].Jaccard {
+					return ests[idx[x]].Jaccard > ests[idx[y]].Jaccard
+				}
+				return candidates[idx[x]] < candidates[idx[y]]
+			})
+			topKSink = topKSink[:0]
+			for _, c := range idx[:n] {
+				topKSink = append(topKSink, vos.TopKResult{User: candidates[c], Estimate: ests[c]})
+			}
+		}
+	})
+	b.Run("materialized-nocache", func(b *testing.B) {
+		sk.SetPositionCache(nil)
+		sk.SetRecoveredCacheCapacity(-1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			topKSink = sk.TopK(1, candidates, n)
+		}
+	})
+	b.Run("materialized-warm", func(b *testing.B) {
+		sk.EnablePositionCache(1024 + 1)
+		sk.SetRecoveredCacheCapacity(0)
+		sk.TopK(1, candidates, n) // warm both caches
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			topKSink = sk.TopK(1, candidates, n)
+		}
+		sk.SetPositionCache(nil)
+	})
+	b.Run("engine", func(b *testing.B) {
+		eng := vos.MustNewEngine(vos.EngineConfig{
+			Sketch:             vos.Config{MemoryBits: 1 << 24, SketchBits: 6400, Seed: 1},
+			Shards:             2,
+			PositionCacheUsers: 1024 + 1,
+		})
+		defer eng.Close()
+		for i := 0; i < 500; i++ {
+			if err := eng.Process(vos.Edge{User: 1, Item: vos.Item(i), Op: vos.Insert}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for c := 0; c < 1000; c++ {
+			for i := 0; i < 20; i++ {
+				if err := eng.Process(vos.Edge{User: vos.User(c + 2), Item: vos.Item(c + i*30), Op: vos.Insert}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		eng.Flush()
+		eng.TopK(1, candidates, n) // build the snapshot and warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			topKSink = eng.TopK(1, candidates, n)
+		}
+	})
 }

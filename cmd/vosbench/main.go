@@ -8,15 +8,25 @@
 //	vosbench -experiment fig3a
 //	vosbench -experiment all -scale 0.02 -csv
 //	vosbench -experiment throughput -shards 1,2,4,8
+//	vosbench -experiment query -json
 //
 // Experiments: fig2a, fig2b, fig3a, fig3b, fig3c, fig3d, abl-lambda,
-// abl-load, abl-dense, abl-delbias, compare, throughput, all.
+// abl-load, abl-dense, abl-delbias, compare, throughput, query, all.
 //
 // The throughput experiment measures the sharded ingestion engine: for
 // each shard count it ingests the runtime workload through vos.Engine,
 // reports edges/s and the speedup over both the sequential sketch and the
 // single-shard engine, and verifies the engine's post-flush estimates are
 // bit-identical to the sequential sketch (VOS merging is exact).
+//
+// The query experiment measures the materialized read path: per-pair and
+// top-K-of-1000 cost on the scalar per-bit baseline, the packed
+// materialized path, the warm-cache steady state, and the engine's
+// parallel fan-out — each parity-checked against the per-bit oracle
+// before it is timed.
+//
+// -json renders every table as a machine-readable JSON document (see
+// bench/ for the checked-in trajectory this feeds).
 package main
 
 import (
@@ -44,6 +54,7 @@ func main() {
 		dataset    = flag.String("dataset", "YouTube", "profile for single-dataset experiments (YouTube, Flickr, Orkut, LiveJournal)")
 		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -experiment throughput")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of aligned text")
 		outdir     = flag.String("outdir", "", "also write each table as <outdir>/<id>.csv")
 	)
 	flag.Parse()
@@ -74,9 +85,12 @@ func main() {
 		fatal(err)
 	}
 	for _, t := range tables {
-		if *csv {
+		switch {
+		case *jsonOut:
+			err = t.RenderJSON(os.Stdout)
+		case *csv:
 			err = t.RenderCSV(os.Stdout)
-		} else {
+		default:
 			err = t.Render(os.Stdout)
 		}
 		if err != nil {
@@ -150,6 +164,9 @@ func run(id string, opts experiments.Options) ([]*experiments.Table, error) {
 		return one(t, err)
 	case "compare":
 		t, err := experiments.Compare(opts)
+		return one(t, err)
+	case "query":
+		t, err := experiments.QueryPerf(opts)
 		return one(t, err)
 	case "all":
 		var out []*experiments.Table

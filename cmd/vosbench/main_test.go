@@ -86,3 +86,21 @@ func TestWriteCSV(t *testing.T) {
 		t.Errorf("csv content %q", data)
 	}
 }
+
+func TestRunQuery(t *testing.T) {
+	opts := experiments.Options{
+		Seed: 3, K32: 8, Lambda: 2,
+		RuntimeUsers: 50, RuntimeEdges: 2_000,
+	}
+	tables, err := run("query", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ID != "query" {
+		t.Fatalf("tables = %v", tables)
+	}
+	// 3 pair rows + 4 top-K rows, each parity-gated inside the runner.
+	if len(tables[0].Rows) != 7 {
+		t.Fatalf("want 7 rows, got %d: %v", len(tables[0].Rows), tables[0].Rows)
+	}
+}

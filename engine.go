@@ -3,6 +3,7 @@ package vos
 import (
 	"github.com/vossketch/vos/internal/engine"
 	"github.com/vossketch/vos/internal/metrics"
+	"github.com/vossketch/vos/internal/poscache"
 	"github.com/vossketch/vos/internal/wal"
 )
 
@@ -21,11 +22,19 @@ import (
 type Engine = engine.Engine
 
 // EngineConfig parameterises an Engine: the per-shard sketch Config plus
-// shard count, batch size, queue capacity, linger interval, and the query
-// snapshot staleness budget. Zero values select defaults (Shards =
-// GOMAXPROCS, BatchSize = 256, QueueSize = 8192 edges, FlushInterval =
-// 50ms, SnapshotMaxLag = 0 i.e. exact queries).
+// shard count, batch size, queue capacity, linger interval, the query
+// snapshot staleness budget, and the position-cache size. Zero values
+// select defaults (Shards = GOMAXPROCS, BatchSize = 256, QueueSize = 8192
+// edges, FlushInterval = 50ms, SnapshotMaxLag = 0 i.e. exact queries,
+// PositionCacheUsers = 512; set PositionCacheUsers negative to disable
+// position caching).
 type EngineConfig = engine.Config
+
+// PositionCacheStats is a counter snapshot (hits, misses, evictions, fill)
+// of the engine's shared position-table cache, from
+// Engine.PositionCacheStats. A low hit rate on a serving workload means
+// EngineConfig.PositionCacheUsers is sized below the hot user set.
+type PositionCacheStats = poscache.Stats
 
 // ShardStat is one engine shard's health snapshot (counters, backlog, β).
 type ShardStat = metrics.ShardStat

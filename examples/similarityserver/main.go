@@ -8,9 +8,16 @@
 //
 //	POST /event?user=U&item=I&op=+|-   ingest one subscription event
 //	GET  /similarity?u=U&v=V           estimate s_uv and Jaccard
+//	POST /topk                         rank candidates by similarity to a user
 //	GET  /stats                        merged sketch state (β, memory, users)
 //	GET  /shards                       per-shard ingest counters and load
 //	POST /checkpoint                   persist the merged sketch + WAL position
+//
+// /topk takes a JSON body {"user": U, "candidates": [...], "n": N} and
+// returns the n candidates most similar to the user, best first, served by
+// the engine's materialized top-K path: the probe's virtual sketch is
+// recovered once, candidates stream against the packed bits in parallel,
+// and hot users' position tables come from the engine's shared cache.
 //
 // The engine is durable (vos.OpenEngine): accepted events are written to a
 // WAL before they are acknowledged, POST /checkpoint persists the merged
@@ -40,6 +47,7 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/vossketch/vos"
@@ -98,6 +106,45 @@ func (s *server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 		"cardinality_v": est.CardinalityV,
 		"saturated":     est.Saturated,
 	})
+}
+
+// topkRequest is the POST /topk body.
+type topkRequest struct {
+	User       uint64   `json:"user"`
+	Candidates []uint64 `json:"candidates"`
+	N          int      `json:"n"`
+}
+
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req topkRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.N <= 0 || len(req.Candidates) == 0 {
+		http.Error(w, "need n > 0 and a non-empty candidates list", http.StatusBadRequest)
+		return
+	}
+	candidates := make([]vos.User, len(req.Candidates))
+	for i, c := range req.Candidates {
+		candidates[i] = vos.User(c)
+	}
+	s.engine.Flush() // read-your-writes, like /similarity
+	top := s.engine.TopK(vos.User(req.User), candidates, req.N)
+	out := make([]map[string]any, len(top))
+	for i, res := range top {
+		out[i] = map[string]any{
+			"user":         uint64(res.User),
+			"jaccard":      res.Estimate.Jaccard,
+			"common_items": res.Estimate.CommonClamped,
+			"saturated":    res.Estimate.Saturated,
+		}
+	}
+	writeJSON(w, out)
 }
 
 func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
@@ -167,6 +214,7 @@ func serve(dir string, cfg vos.EngineConfig) (base string, stop func(closeEngine
 	mux := http.NewServeMux()
 	mux.HandleFunc("/event", srv.handleEvent)
 	mux.HandleFunc("/similarity", srv.handleSimilarity)
+	mux.HandleFunc("/topk", srv.handleTopK)
 	mux.HandleFunc("/stats", srv.handleStats)
 	mux.HandleFunc("/shards", srv.handleShards)
 	mux.HandleFunc("/checkpoint", srv.handleCheckpoint)
@@ -227,6 +275,16 @@ func main() {
 		n, _ := resp.Body.Read(buf[:])
 		return string(buf[:n])
 	}
+	postJSON := func(path, body string) string {
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf [4096]byte
+		n, _ := resp.Body.Read(buf[:])
+		return string(buf[:n])
+	}
 	event := func(user, item uint64, op string) {
 		post(fmt.Sprintf("/event?user=%d&item=%d&op=%s", user, item, url.QueryEscape(op)))
 	}
@@ -253,6 +311,17 @@ func main() {
 		event(100+i%50, rng.Uint64()%100000, "+")
 	}
 	fmt.Println("ingested 2600 events over HTTP (300 + 300 subscriptions, noise)")
+
+	// Rank user 2 and the background users against user 1: the engine
+	// recovers user 1's sketch once and streams the candidates against the
+	// packed bits, so only user 2's planted 150-item overlap should rank.
+	var cands strings.Builder
+	cands.WriteString("2")
+	for u := 100; u < 150; u++ {
+		fmt.Fprintf(&cands, ",%d", u)
+	}
+	fmt.Println("\nPOST /topk (user 1 vs user 2 + 50 background users)")
+	fmt.Println("  " + postJSON("/topk", fmt.Sprintf(`{"user":1,"candidates":[%s],"n":3}`, cands.String())))
 
 	// Persist the merged sketch; the covered WAL prefix is truncated.
 	fmt.Println("\nPOST /checkpoint")

@@ -151,9 +151,105 @@ func (b *Bitset) XorCount(o *Bitset) uint64 {
 	if b.n != o.n {
 		panic("bitset: length mismatch in XorCount")
 	}
+	return b.XorCountWords(o.words)
+}
+
+// XorCountWords is XorCount against a raw packed word slice, as returned
+// by Words — the pure word-level pair comparison between two cached
+// recovered sketches. len(ws) must equal the word count of b, and any tail
+// bits past b.Len() must be zero (Words output always satisfies both).
+func (b *Bitset) XorCountWords(ws []uint64) uint64 {
+	if len(ws) != len(b.words) {
+		panic("bitset: word-count mismatch in XorCountWords")
+	}
 	ones := uint64(0)
-	for i := range b.words {
-		ones += uint64(bits.OnesCount64(b.words[i] ^ o.words[i]))
+	for i, w := range b.words {
+		ones += uint64(bits.OnesCount64(w ^ ws[i]))
+	}
+	return ones
+}
+
+// Words exposes the backing word slice, least-significant bit first, tail
+// bits zero. The slice is shared with the bitset: callers must treat it as
+// read-only. It exists so packed recovered sketches can be cached as plain
+// []uint64 values and compared later with XorCountWords.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// FromWordsShared wraps a Words-style slice as an n-bit Bitset WITHOUT
+// copying: the bitset and the slice share storage, so neither may be
+// mutated afterwards (read-only views over cached packed sketches). The
+// slice must hold exactly (n+63)/64 words with zero tail bits, as Words
+// produces.
+func FromWordsShared(ws []uint64, n uint64) *Bitset {
+	if n == 0 || len(ws) != int((n+63)/64) {
+		panic(fmt.Sprintf("bitset: FromWordsShared: %d words cannot back %d bits", len(ws), n))
+	}
+	ones := uint64(0)
+	for _, w := range ws {
+		ones += uint64(bits.OnesCount64(w))
+	}
+	return &Bitset{words: ws, n: n, ones: ones}
+}
+
+// Gather returns a new Bitset of len(idx) bits whose bit j equals b's bit
+// idx[j] — the packed materialisation of a virtual sketch scattered across
+// a large shared array. Every index must be in [0, b.Len()).
+func (b *Bitset) Gather(idx []uint64) *Bitset {
+	out := New(uint64(len(idx)))
+	words, n := b.words, b.n
+	for j, p := range idx {
+		if p >= n {
+			b.check(p)
+		}
+		out.words[j>>6] |= ((words[p>>6] >> (p & 63)) & 1) << (uint(j) & 63)
+	}
+	ones := uint64(0)
+	for _, w := range out.words {
+		ones += uint64(bits.OnesCount64(w))
+	}
+	out.ones = ones
+	return out
+}
+
+// GatherXorCount returns the number of positions j where b's bit idx[j]
+// differs from o's bit j — popcount(Gather(idx) XOR o) without
+// materialising the gathered bitset. o.Len() must equal len(idx) and every
+// index must be in [0, b.Len()).
+//
+// This is the inner loop of a materialized pair query: o holds one user's
+// recovered (packed) virtual sketch, idx holds the other user's array
+// positions, and the result is the differing-slot count z the estimator
+// consumes. The XOR happens a word (64 slots) at a time.
+func (b *Bitset) GatherXorCount(idx []uint64, o *Bitset) uint64 {
+	if o.n != uint64(len(idx)) {
+		panic("bitset: length mismatch in GatherXorCount")
+	}
+	words, n := b.words, b.n
+	ones := uint64(0)
+	var acc uint64
+	j := 0
+	for len(idx)-j >= 64 {
+		acc = 0
+		for s := 0; s < 64; s++ {
+			p := idx[j+s]
+			if p >= n {
+				b.check(p)
+			}
+			acc |= ((words[p>>6] >> (p & 63)) & 1) << uint(s)
+		}
+		ones += uint64(bits.OnesCount64(acc ^ o.words[j>>6]))
+		j += 64
+	}
+	if j < len(idx) {
+		acc = 0
+		for s := 0; j+s < len(idx); s++ {
+			p := idx[j+s]
+			if p >= n {
+				b.check(p)
+			}
+			acc |= ((words[p>>6] >> (p & 63)) & 1) << uint(s)
+		}
+		ones += uint64(bits.OnesCount64(acc ^ o.words[j>>6]))
 	}
 	return ones
 }

@@ -293,3 +293,81 @@ func BenchmarkXorCount(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestGatherMatchesPerBitReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := New(10_000)
+	for i := 0; i < 3000; i++ {
+		b.Set(uint64(rng.Intn(10_000)))
+	}
+	// Lengths straddling word boundaries, including the empty-tail and
+	// tail-only cases.
+	for _, k := range []int{1, 63, 64, 65, 128, 200, 6400} {
+		idx := make([]uint64, k)
+		for j := range idx {
+			idx[j] = uint64(rng.Intn(10_000))
+		}
+		g := b.Gather(idx)
+		if g.Len() != uint64(k) {
+			t.Fatalf("k=%d: Gather len = %d", k, g.Len())
+		}
+		ones := uint64(0)
+		for j, p := range idx {
+			if g.Get(uint64(j)) != b.Get(p) {
+				t.Fatalf("k=%d: gathered bit %d = %v, array bit %d = %v",
+					k, j, g.Get(uint64(j)), p, b.Get(p))
+			}
+			if b.Get(p) {
+				ones++
+			}
+		}
+		if g.Count() != ones {
+			t.Fatalf("k=%d: Gather count = %d, want %d", k, g.Count(), ones)
+		}
+	}
+}
+
+func TestGatherXorCountMatchesMaterialised(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	b := New(10_000)
+	for i := 0; i < 3000; i++ {
+		b.Set(uint64(rng.Intn(10_000)))
+	}
+	for _, k := range []int{1, 63, 64, 65, 127, 200, 6400} {
+		idx := make([]uint64, k)
+		for j := range idx {
+			idx[j] = uint64(rng.Intn(10_000))
+		}
+		o := New(uint64(k))
+		for j := 0; j < k; j++ {
+			if rng.Intn(2) == 1 {
+				o.Set(uint64(j))
+			}
+		}
+		want := b.Gather(idx).XorCount(o)
+		if got := b.GatherXorCount(idx, o); got != want {
+			t.Fatalf("k=%d: GatherXorCount = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestGatherXorCountLengthMismatchPanics(t *testing.T) {
+	b := New(100)
+	o := New(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	b.GatherXorCount(make([]uint64, 6), o)
+}
+
+func TestGatherOutOfRangePanics(t *testing.T) {
+	b := New(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range index")
+		}
+	}()
+	b.Gather([]uint64{0, 100})
+}

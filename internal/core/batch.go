@@ -5,11 +5,66 @@ import (
 	"github.com/vossketch/vos/internal/stream"
 )
 
-// Batch queries: a similarity search evaluates one user against many
-// candidates. Query recovers both users' virtual sketches per call, so u's
-// k array positions would be rehashed |candidates| times; QueryMany
-// recovers u once into a dense snapshot and reuses it, halving hash work
-// and improving locality. Results are identical to per-pair Query calls.
+// Materialized queries: the paper's read path recovers a user's k virtual
+// bits by evaluating k seeded hashes and probing k single bits of the
+// shared array, per user, per query — at k = 6400 the hashing alone
+// dominates the query. This file materializes the read path instead:
+//
+//   - Positions returns the user's immutable position table f_1(u)…f_k(u)
+//     (a pure function of user, seed, and m), filled with the batched
+//     hashing.Family.HashRangeInto loop and served from the attached
+//     poscache.Cache when one is present, so hot users skip hashing
+//     entirely;
+//   - RecoverSketch gathers those k bits once into a packed k-bit bitset;
+//   - QueryRecovered compares a candidate against the packed sketch with
+//     a fused gather + XOR + popcount, ~k/64 word operations instead of a
+//     per-bit comparison loop.
+//
+// Every path computes the differing-slot count z from the same recovered
+// bits the scalar path reads, so estimates are bit-identical to
+// QueryPerBit — pinned by TestQueryParityPerBitVsMaterialized.
+
+// Positions returns user u's position table [f_1(u), …, f_k(u)], each in
+// [0, m). The table depends only on the user and the sketch Config, never
+// on the array contents, so it stays valid across updates and merges. The
+// returned slice may be shared with the position cache: callers must treat
+// it as read-only.
+func (v *VOS) Positions(u stream.User) []uint64 {
+	if v.pos != nil {
+		if p, ok := v.pos.Get(u); ok {
+			return p
+		}
+	}
+	p := make([]uint64, v.cfg.SketchBits)
+	v.slots.HashRangeInto(p, uint64(u), v.cfg.MemoryBits)
+	if v.pos != nil {
+		v.pos.Put(u, p)
+	}
+	return p
+}
+
+// lookupPositions is Positions for transient use inside a single query: a
+// cache hit (or a miss that fills the cache) returns the durable table,
+// while the cache-less path fills a pooled scratch buffer instead of
+// allocating k words per query. scratch reports which case happened; when
+// true the caller must hand the slice back via releasePositions as soon as
+// the query is done with it. sync.Pool is concurrency-safe, so the read
+// paths stay race-clean.
+func (v *VOS) lookupPositions(u stream.User) (pos []uint64, scratch bool) {
+	if v.pos != nil {
+		return v.Positions(u), false
+	}
+	p, ok := v.posScratch.Get().(*[]uint64)
+	if !ok {
+		buf := make([]uint64, v.cfg.SketchBits)
+		p = &buf
+	}
+	v.slots.HashRangeInto(*p, uint64(u), v.cfg.MemoryBits)
+	return *p, true
+}
+
+// releasePositions returns a scratch table to the pool.
+func (v *VOS) releasePositions(p []uint64) { v.posScratch.Put(&p) }
 
 // Recovered is a dense snapshot of one user's virtual odd sketch, reusable
 // across queries against a fixed sketch state. It is invalidated by any
@@ -25,38 +80,83 @@ type Recovered struct {
 // User returns the user the snapshot belongs to.
 func (r *Recovered) User() stream.User { return r.user }
 
-// Recover snapshots user u's virtual odd sketch Ô_u (k bits) together
-// with the cardinality and array load at recovery time.
-func (v *VOS) Recover(u stream.User) *Recovered {
-	k := v.cfg.SketchBits
-	bits := bitset.New(uint64(k))
-	for j := 0; j < k; j++ {
-		if v.arr.Get(v.position(u, j)) {
-			bits.Set(uint64(j))
+// RecoverSketch snapshots user u's virtual odd sketch Ô_u as k packed bits
+// together with the cardinality and array load at recovery time. Bit j of
+// the result is A[f_j(u)], gathered word-by-word from the shared array —
+// or taken straight from the recovered-sketch cache when u was already
+// recovered at the current write version.
+func (v *VOS) RecoverSketch(u stream.User) *Recovered {
+	return &Recovered{
+		user: u,
+		bits: v.recoverBits(u),
+		card: v.card[u],
+		beta: v.Beta(),
+	}
+}
+
+// recoverBits returns u's packed recovered sketch, serving and filling the
+// versioned cache. Cached words are wrapped without copying; the resulting
+// bitset is read-only by the Recovered contract.
+func (v *VOS) recoverBits(u stream.User) *bitset.Bitset {
+	if v.rec != nil {
+		if ws, ok := v.rec.GetVersioned(u, v.version); ok {
+			return bitset.FromWordsShared(ws, uint64(v.cfg.SketchBits))
 		}
 	}
-	return &Recovered{user: u, bits: bits, card: v.card[u], beta: v.Beta()}
+	bits := v.gatherBits(u)
+	if v.rec != nil {
+		v.rec.PutVersioned(u, v.version, bits.Words())
+	}
+	return bits
 }
+
+// gatherBits materialises u's packed recovered sketch from the shared
+// array, bypassing the recovered-sketch cache.
+func (v *VOS) gatherBits(u stream.User) *bitset.Bitset {
+	pos, scratch := v.lookupPositions(u)
+	bits := v.arr.Gather(pos)
+	if scratch {
+		v.releasePositions(pos)
+	}
+	return bits
+}
+
+// Recover is RecoverSketch under its original name, kept for callers of
+// the pre-materialization API.
+func (v *VOS) Recover(u stream.User) *Recovered { return v.RecoverSketch(u) }
 
 // QueryRecovered estimates the similarity between a recovered snapshot
 // and user w, equivalent to Query(r.User(), w) against the sketch state
-// at recovery time.
+// at recovery time. When w's recovered sketch is cached at the current
+// write version the comparison is a pure XOR+popcount over ~k/64 words —
+// no hashing, no array probes; otherwise w's bits are gathered (and
+// cached), fused with the XOR 64 virtual slots at a time.
 func (v *VOS) QueryRecovered(r *Recovered, w stream.User) Estimate {
-	k := v.cfg.SketchBits
-	z := 0
-	for j := 0; j < k; j++ {
-		if r.bits.Get(uint64(j)) != v.arr.Get(v.position(w, j)) {
-			z++
+	if v.rec != nil {
+		// Hot path: compare the packed snapshots word for word, straight
+		// off the cached slice — no gather, no allocation, no recount.
+		if ws, ok := v.rec.GetVersioned(w, v.version); ok {
+			return v.estimateFrom(int(r.bits.XorCountWords(ws)), r.card, v.card[w], r.beta)
 		}
+		// Miss: materialise w's bits (rather than fusing the XOR into the
+		// gather) so the cache warms and the next pass runs probe-free.
+		bits := v.gatherBits(w)
+		v.rec.PutVersioned(w, v.version, bits.Words())
+		return v.estimateFrom(int(r.bits.XorCount(bits)), r.card, v.card[w], r.beta)
 	}
-	return v.estimateFrom(z, r.card, v.card[w], r.beta)
+	pos, scratch := v.lookupPositions(w)
+	z := v.arr.GatherXorCount(pos, r.bits)
+	if scratch {
+		v.releasePositions(pos)
+	}
+	return v.estimateFrom(int(z), r.card, v.card[w], r.beta)
 }
 
 // QueryMany estimates u against every candidate in one pass, recovering u
 // once. The result order matches candidates; querying u against itself
 // yields the degenerate self estimate like Query does.
 func (v *VOS) QueryMany(u stream.User, candidates []stream.User) []Estimate {
-	r := v.Recover(u)
+	r := v.RecoverSketch(u)
 	out := make([]Estimate, len(candidates))
 	for i, w := range candidates {
 		out[i] = v.QueryRecovered(r, w)

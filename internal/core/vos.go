@@ -25,9 +25,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/vossketch/vos/internal/bitset"
 	"github.com/vossketch/vos/internal/hashing"
+	"github.com/vossketch/vos/internal/poscache"
 	"github.com/vossketch/vos/internal/stream"
 )
 
@@ -69,14 +71,42 @@ func (c Config) validate() error {
 	return nil
 }
 
-// VOS is the sketch. It is not safe for concurrent use; wrap with a mutex
-// or shard by stream partition and Merge (see Merge).
+// VOS is the sketch. It is not safe for concurrent mutation; wrap with a
+// mutex or shard by stream partition and Merge (see Merge). Read-only
+// methods (Query, QueryMany, TopK, Recover*, Cardinality, Beta, Stats) may
+// run concurrently with each other on a quiescent sketch — the engine's
+// merged snapshots and the parallel top-K path rely on this.
 type VOS struct {
 	cfg   Config
 	arr   *bitset.Bitset
 	slots *hashing.Family // f_1 … f_k, one member per virtual slot
 	card  map[stream.User]int64
+
+	// pos optionally caches per-user position tables (see Positions).
+	// nil means positions are recomputed per call. The cache is
+	// thread-safe, so attaching one keeps the read paths race-clean.
+	pos *poscache.Cache
+
+	// posScratch pools k-word position buffers for the cache-less query
+	// path, so a transient query allocates no table (see lookupPositions).
+	posScratch sync.Pool
+
+	// rec caches packed recovered sketches (see batch.go). Entries are
+	// stamped with version, so any write invalidates all of them at once;
+	// on a quiescent sketch a repeat pair comparison is then a pure
+	// XOR+popcount over ~k/64 words. nil disables.
+	rec *poscache.Cache
+	// version counts writes (Process, Merge). It stamps recovered-sketch
+	// cache entries; it is not serialized and restarts from zero on load,
+	// which is safe because a loaded sketch starts with an empty cache.
+	version uint64
 }
+
+// defaultRecoveredCacheEntries bounds the recovered-sketch cache a new
+// sketch gets. Entries cost k/8 bytes (800 B at the paper's k = 6400, so
+// the default is ≈3 MiB at paper scale) — small enough to enable by
+// default, unlike position tables, which are 64× larger per user.
+const defaultRecoveredCacheEntries = 4096
 
 // New creates an empty VOS sketch. It returns an error for degenerate
 // configurations.
@@ -89,6 +119,7 @@ func New(cfg Config) (*VOS, error) {
 		arr:   bitset.New(cfg.MemoryBits),
 		slots: hashing.NewFamily(cfg.SketchBits, cfg.Seed),
 		card:  make(map[stream.User]int64),
+		rec:   poscache.New(defaultRecoveredCacheEntries),
 	}, nil
 }
 
@@ -110,6 +141,47 @@ func (v *VOS) K() int { return v.cfg.SketchBits }
 // MemoryBits returns m.
 func (v *VOS) MemoryBits() uint64 { return v.cfg.MemoryBits }
 
+// SetPositionCache attaches a position cache to the materialized read
+// path (nil detaches). Position tables depend only on the user key and the
+// sketch's Seed/MemoryBits/SketchBits, so one cache may be shared across
+// sketches with identical Config — the engine shares a single cache
+// between its shards and every merged snapshot. Sharing across different
+// configs returns wrong positions; don't.
+func (v *VOS) SetPositionCache(c *poscache.Cache) { v.pos = c }
+
+// EnablePositionCache attaches a fresh private position cache holding up
+// to entries users. Each entry costs SketchBits·8 bytes (50 KiB at the
+// paper's k = 6400); see poscache.New for sizing guidance.
+func (v *VOS) EnablePositionCache(entries int) { v.pos = poscache.New(entries) }
+
+// PositionCache returns the attached position cache, or nil.
+func (v *VOS) PositionCache() *poscache.Cache { return v.pos }
+
+// SetRecoveredCacheCapacity resizes the recovered-sketch cache: entries
+// packed recovered sketches (k/8 bytes each) are kept, stamped by write
+// version, so repeat queries on a quiescent sketch skip hashing AND array
+// probing. 0 restores the default (4096 entries); negative disables the
+// cache. Resizing discards cached sketches.
+func (v *VOS) SetRecoveredCacheCapacity(entries int) {
+	switch {
+	case entries < 0:
+		v.rec = nil
+	case entries == 0:
+		v.rec = poscache.New(defaultRecoveredCacheEntries)
+	default:
+		v.rec = poscache.New(entries)
+	}
+}
+
+// RecoveredCacheStats reports the recovered-sketch cache counters; ok is
+// false when the cache is disabled.
+func (v *VOS) RecoveredCacheStats() (st poscache.Stats, ok bool) {
+	if v.rec == nil {
+		return poscache.Stats{}, false
+	}
+	return v.rec.Stats(), true
+}
+
 // slot returns ψ(item) ∈ [0, k).
 func (v *VOS) slot(i stream.Item) int {
 	return int(hashing.HashToRange(uint64(i), v.cfg.Seed^0x5f4dcc3b5aa765d6, uint64(v.cfg.SketchBits)))
@@ -123,6 +195,7 @@ func (v *VOS) position(u stream.User, j int) uint64 {
 // Process folds one stream element into the sketch in O(1): one hash for
 // ψ, one for f_j, one bit flip, one counter update.
 func (v *VOS) Process(e stream.Edge) {
+	v.version++ // invalidates every cached recovered sketch
 	j := v.slot(e.Item)
 	v.arr.Flip(v.position(e.User, j))
 	d := int64(1)
@@ -135,8 +208,13 @@ func (v *VOS) Process(e stream.Edge) {
 	// sketch state is fully order-independent: under sharded ingestion a
 	// user's delete may be applied before the matching insert (counter
 	// goes -1 then back to 0), and the insert must erase the entry too.
-	if v.card[e.User] += d; v.card[e.User] == 0 {
+	// One map lookup, then one store or delete — `v.card[e.User] += d`
+	// followed by a zero check would traverse the map a second time on
+	// every edge of the hot ingest loop.
+	if c := v.card[e.User] + d; c == 0 {
 		delete(v.card, e.User)
+	} else {
+		v.card[e.User] = c
 	}
 }
 
@@ -148,15 +226,9 @@ func (v *VOS) Cardinality(u stream.User) int64 { return v.card[u] }
 func (v *VOS) Beta() float64 { return v.arr.OnesFraction() }
 
 // Users returns the number of users with a nonzero cardinality counter.
-func (v *VOS) Users() int {
-	n := 0
-	for _, c := range v.card {
-		if c != 0 {
-			n++
-		}
-	}
-	return n
-}
+// Process and Merge prune zero-cardinality entries on every operation, so
+// the map never holds a zero and its length is the answer in O(1).
+func (v *VOS) Users() int { return len(v.card) }
 
 // RecoverBit returns Ô_u[j] = A[f_j(u)], the rebuilt bit j of user u's
 // virtual odd sketch.
@@ -200,8 +272,23 @@ type Estimate struct {
 	Saturated bool
 }
 
-// Query estimates the similarity of users u and w in O(k).
+// Query estimates the similarity of users u and w in O(k). It runs on the
+// materialized read path: u's virtual sketch is recovered once into packed
+// words and w's recovered bits are XOR-popcounted against it a word at a
+// time (see batch.go), with position tables served from the attached cache
+// when one is present. The result is bit-identical to QueryPerBit.
 func (v *VOS) Query(u, w stream.User) Estimate {
+	return v.QueryRecovered(v.RecoverSketch(u), w)
+}
+
+// QueryPerBit is the scalar reference implementation of Query: 2k seeded
+// hash evaluations and 2k single-bit array probes, one virtual slot at a
+// time, exactly the paper's description and this package's original read
+// path. It allocates nothing and touches no cache. It is retained as the
+// parity oracle for the materialized path (the two must agree bit for bit,
+// since α is computed from the same recovered bits) and as the baseline
+// the query benchmarks compare against.
+func (v *VOS) QueryPerBit(u, w stream.User) Estimate {
 	return v.estimateFrom(v.xorOnes(u, w), v.card[u], v.card[w], v.Beta())
 }
 
@@ -293,6 +380,7 @@ func (v *VOS) Merge(other *VOS) error {
 		return fmt.Errorf("core: cannot merge sketches with different configs (%+v vs %+v)",
 			v.cfg, other.cfg)
 	}
+	v.version++ // invalidates every cached recovered sketch
 	v.arr.Xor(other.arr)
 	for u, c := range other.card {
 		v.card[u] += c

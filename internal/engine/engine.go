@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,7 @@ import (
 	"github.com/vossketch/vos/internal/core"
 	"github.com/vossketch/vos/internal/hashing"
 	"github.com/vossketch/vos/internal/metrics"
+	"github.com/vossketch/vos/internal/poscache"
 	"github.com/vossketch/vos/internal/stream"
 	"github.com/vossketch/vos/internal/wal"
 )
@@ -82,6 +84,16 @@ type Config struct {
 	// Query is exact with respect to the applied stream.
 	SnapshotMaxLag uint64
 
+	// PositionCacheUsers bounds the engine's shared position-table cache:
+	// the materialized query path caches each user's k array positions
+	// (valid for the engine's lifetime — they depend only on user and
+	// sketch Config, never on sketch contents), so repeat queries for hot
+	// users skip all hashing. One cache is shared by every shard and
+	// every merged snapshot. Each entry costs Sketch.SketchBits·8 bytes
+	// (50 KiB at the paper's k = 6400). 0 selects the default of 512
+	// entries (≈25 MiB at paper scale); negative disables caching.
+	PositionCacheUsers int
+
 	// Durability, when non-nil with a Dir, enables the write-ahead log and
 	// checkpointing (see durability.go): accepted edges are logged before
 	// they are routed, Checkpoint persists the merged sketch, and Open
@@ -108,6 +120,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlushInterval == 0 {
 		c.FlushInterval = 50 * time.Millisecond
+	}
+	if c.PositionCacheUsers == 0 {
+		c.PositionCacheUsers = 512
 	}
 	return c
 }
@@ -153,6 +168,13 @@ type Engine struct {
 	snap   *core.VOS
 	snapAt []uint64 // per-shard processed counts captured at merge time
 
+	// pcache is the shared position-table cache (nil when disabled):
+	// position tables depend only on user and sketch Config, so one cache
+	// serves every shard and every merged snapshot for the engine's
+	// lifetime, surviving snapshot rebuilds. It is internally locked, so
+	// sharing it keeps concurrent query paths race-clean.
+	pcache *poscache.Cache
+
 	// Durability state (nil/zero on memory-only engines — see
 	// durability.go). log is the write-ahead log; walMu gates appends
 	// against checkpoints: producers hold RLock across append-then-route,
@@ -186,11 +208,15 @@ func newEngine(cfg Config) (*Engine, error) {
 		start:  time.Now(),
 		snapAt: make([]uint64, cfg.Shards),
 	}
+	if cfg.PositionCacheUsers > 0 {
+		e.pcache = poscache.New(cfg.PositionCacheUsers)
+	}
 	for i := range e.shards {
 		sk, err := core.New(cfg.Sketch)
 		if err != nil {
 			return nil, err
 		}
+		sk.SetPositionCache(e.pcache) // shared: positions are config-pure
 		s := &shard{
 			ch: make(chan []stream.Edge, batches),
 			sk: sk,
@@ -450,6 +476,7 @@ func (e *Engine) snapshotMaxLag(maxLag uint64) *core.VOS {
 		}
 	}
 	merged := core.MustNew(e.cfg.Sketch)
+	merged.SetPositionCache(e.pcache) // tables survive snapshot rebuilds
 	if e.base != nil {
 		// The recovered checkpoint; frozen after Open, identical config by
 		// Open's validation, so the merge cannot fail.
@@ -484,6 +511,68 @@ func (e *Engine) Query(u, v stream.User) core.Estimate {
 // merged snapshot (see core.VOS.QueryMany).
 func (e *Engine) QueryMany(u stream.User, candidates []stream.User) []core.Estimate {
 	return e.snapshot().QueryMany(u, candidates)
+}
+
+// TopK returns the n candidates most similar to u from the merged global
+// snapshot — highest estimated Jaccard first, ties broken by user ID, with
+// the full estimates attached. The probe's virtual sketch is recovered
+// once; candidates are then split into ranges fanned out across up to
+// GOMAXPROCS goroutines, each streaming its range against the packed probe
+// with a bounded min-heap, and the per-worker tops are merged. The
+// snapshot is immutable and the shared position cache is internally
+// locked, so the fan-out is read-only and race-clean.
+//
+// The result is identical to snapshot.TopK(u, candidates, n) — and to
+// sorting per-pair Query estimates — regardless of worker count: every
+// global top-n result is inside its worker's top n, and the merge sorts
+// with the same total order (core.RankBefore) the workers used.
+func (e *Engine) TopK(u stream.User, candidates []stream.User, n int) []core.TopKResult {
+	snap := e.snapshot()
+	// Below ~2 full ranges the goroutine and merge overhead outweighs the
+	// fan-out; answer sequentially.
+	const minPerWorker = 64
+	workers := runtime.GOMAXPROCS(0)
+	if maxW := len(candidates) / minPerWorker; workers > maxW {
+		workers = maxW
+	}
+	if workers <= 1 || n <= 0 {
+		return snap.TopK(u, candidates, n)
+	}
+	r := snap.RecoverSketch(u)
+	tops := make([][]core.TopKResult, workers)
+	var wg sync.WaitGroup
+	chunk := (len(candidates) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(candidates) {
+			hi = len(candidates)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			tops[w] = snap.TopKRecovered(r, candidates[lo:hi], n)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var all []core.TopKResult
+	for _, t := range tops {
+		all = append(all, t...)
+	}
+	sort.Slice(all, func(i, j int) bool { return core.RankBefore(all[i], all[j]) })
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+// PositionCacheStats reports the shared position cache's hit/miss/eviction
+// counters; ok is false when caching is disabled (PositionCacheUsers < 0).
+func (e *Engine) PositionCacheStats() (st poscache.Stats, ok bool) {
+	if e.pcache == nil {
+		return poscache.Stats{}, false
+	}
+	return e.pcache.Stats(), true
 }
 
 // QueryLocal answers a pair query from the owning shard alone when both

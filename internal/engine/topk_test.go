@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/vossketch/vos/internal/core"
+	"github.com/vossketch/vos/internal/gen"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// topkWorkload builds a flushed engine plus its candidate universe.
+func topkWorkload(t testing.TB, shards int) (*Engine, []stream.User) {
+	t.Helper()
+	e, err := New(Config{
+		Sketch: core.Config{MemoryBits: 1 << 18, SketchBits: 512, Seed: 11},
+		Shards: shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := gen.YouTube
+	p.Users = 400
+	p.Items = 2000
+	p.Edges = 20_000
+	base := gen.Bipartite(p, 31)
+	if err := e.ProcessBatch(gen.Dynamize(base, gen.PaperDynamize(len(base), 32))); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	users := make([]stream.User, 400)
+	for i := range users {
+		users[i] = stream.User(i)
+	}
+	return e, users
+}
+
+// TestTopKMatchesSequentialSnapshot pins Engine.TopK's determinism: the
+// parallel fan-out must return exactly what a sequential pass over the
+// same merged snapshot returns, for any worker count — here forced past
+// one via GOMAXPROCS so the parallel path runs even on a 1-CPU host.
+func TestTopKMatchesSequentialSnapshot(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	e, users := topkWorkload(t, 3)
+	defer e.Close()
+	probe := users[7]
+	for _, n := range []int{1, 5, 25, len(users)} {
+		got := e.TopK(probe, users, n)
+		want := e.snapshot().TopK(probe, users, n)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d results, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d rank %d: got {%d j=%v}, want {%d j=%v}", n, i,
+					got[i].User, got[i].Estimate.Jaccard, want[i].User, want[i].Estimate.Jaccard)
+			}
+		}
+	}
+	// And against the scalar per-bit oracle, closing the loop to the
+	// paper's original read path.
+	snap := e.snapshot()
+	for i, res := range e.TopK(probe, users, 10) {
+		if ref := snap.QueryPerBit(probe, res.User); res.Estimate != ref {
+			t.Fatalf("rank %d (%d): estimate %+v, per-bit %+v", i, res.User, res.Estimate, ref)
+		}
+	}
+}
+
+// TestTopKConcurrent races many TopK callers (and the snapshot they share)
+// against each other on a quiescent engine; under -race this pins the
+// read-only fan-out and the locked position cache as race-clean.
+func TestTopKConcurrent(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	e, users := topkWorkload(t, 2)
+	defer e.Close()
+	probe := users[3]
+	want := e.snapshot().TopK(probe, users, 10)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				got := e.TopK(probe, users, 10)
+				for j := range want {
+					if got[j] != want[j] {
+						t.Errorf("concurrent TopK rank %d: got %d, want %d", j, got[j].User, want[j].User)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Layered caching: repeat TopK on a quiescent snapshot serves from the
+	// snapshot's recovered-sketch cache; the engine-lifetime position
+	// cache was filled on the first pass and is what survives writes.
+	if rst, ok := e.snapshot().RecoveredCacheStats(); !ok || rst.Hits == 0 {
+		t.Fatalf("repeat TopK never hit the recovered-sketch cache: %+v", rst)
+	}
+	st, ok := e.PositionCacheStats()
+	if !ok {
+		t.Fatal("default engine should have a position cache")
+	}
+	if st.Misses == 0 {
+		t.Fatalf("first TopK never filled the position cache: %+v", st)
+	}
+
+	// A write forces a snapshot rebuild (fresh recovered-sketch cache);
+	// the rebuilt snapshot must reuse the shared position tables — that
+	// reuse across rebuilds is the position cache's whole job.
+	if err := e.Process(stream.Edge{User: probe, Item: 999_999, Op: stream.Insert}); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	e.TopK(probe, users, 10)
+	st2, _ := e.PositionCacheStats()
+	if st2.Hits <= st.Hits {
+		t.Fatalf("snapshot rebuild did not reuse position tables: before %+v, after %+v", st, st2)
+	}
+}
+
+// TestTopKDuringIngest exercises TopK while producers are still writing —
+// results are snapshot-dependent so only shape is asserted; the value of
+// the test is the -race interleaving of snapshot rebuilds, shard writes,
+// and cache fills.
+func TestTopKDuringIngest(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	e, err := New(Config{
+		Sketch: core.Config{MemoryBits: 1 << 16, SketchBits: 256, Seed: 13},
+		Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	users := make([]stream.User, 300)
+	for i := range users {
+		users[i] = stream.User(i)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			if err := e.Process(stream.Edge{
+				User: stream.User(i % 300), Item: stream.Item(i), Op: stream.Insert,
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for q := 0; q < 50; q++ {
+		if got := e.TopK(users[1], users, 5); len(got) > 5 {
+			t.Fatalf("TopK returned %d results for n=5", len(got))
+		}
+	}
+	wg.Wait()
+}
+
+// TestPositionCacheDisabled covers the opt-out.
+func TestPositionCacheDisabled(t *testing.T) {
+	e, err := New(Config{
+		Sketch:             core.Config{MemoryBits: 1 << 14, SketchBits: 128, Seed: 1},
+		Shards:             1,
+		PositionCacheUsers: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, ok := e.PositionCacheStats(); ok {
+		t.Fatal("cache should be disabled")
+	}
+	if err := e.Process(stream.Edge{User: 1, Item: 2, Op: stream.Insert}); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	// Queries must still work without a cache.
+	if est := e.Query(1, 1); est.CardinalityU != 1 {
+		t.Fatalf("cardinality = %d", est.CardinalityU)
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
@@ -279,4 +280,29 @@ func TestDatasetOptionSelectsProfile(t *testing.T) {
 		}
 	}()
 	opts.profile()
+}
+
+func TestRenderJSONRoundTrips(t *testing.T) {
+	tbl := &Table{
+		ID:     "query",
+		Title:  "t",
+		Header: []string{"op", "ns/op"},
+		Rows:   [][]string{{"pair", "123"}, {"topk", "456"}},
+		Notes:  []string{"n1"},
+	}
+	var buf bytes.Buffer
+	if err := tbl.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID    string              `json:"id"`
+		Notes []string            `json:"notes"`
+		Rows  []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("RenderJSON emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got.ID != "query" || len(got.Rows) != 2 || got.Rows[1]["ns/op"] != "456" || got.Notes[0] != "n1" {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
 }

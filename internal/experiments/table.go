@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -89,6 +90,32 @@ func (t *Table) Render(w io.Writer) error {
 	}
 	_, err := fmt.Fprintln(w)
 	return err
+}
+
+// RenderJSON writes the table as a machine-readable JSON document: the id,
+// title, notes, and one object per row keyed by the header names. This is
+// the format the checked-in bench trajectory (bench/*.json) and any CI
+// regression tooling consume; unlike the text renderers it round-trips
+// through jq without parsing column widths.
+func (t *Table) RenderJSON(w io.Writer) error {
+	rows := make([]map[string]string, len(t.Rows))
+	for i, row := range t.Rows {
+		m := make(map[string]string, len(row))
+		for j, c := range row {
+			if j < len(t.Header) {
+				m[t.Header[j]] = c
+			}
+		}
+		rows[i] = m
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		ID    string              `json:"id"`
+		Title string              `json:"title"`
+		Notes []string            `json:"notes,omitempty"`
+		Rows  []map[string]string `json:"rows"`
+	}{t.ID, t.Title, t.Notes, rows})
 }
 
 // RenderCSV writes the table as CSV (header + rows; notes as # comments).

@@ -130,6 +130,23 @@ func (f *Family) HashRange(j int, key, n uint64) uint64 {
 	return Reduce(Hash64(key, f.seeds[j]), n)
 }
 
+// HashRangeInto evaluates members 0..len(dst)-1 on key, reduced onto
+// [0, n), writing member j's value to dst[j]. It is the batched form of
+// HashRange for callers that need a user's whole position vector (sketch
+// recovery, position-table fills): the seeds slice is walked inline with
+// the Lemire reduction fused in, so the loop carries no per-member method
+// call or repeated bounds check. dst must not be longer than K().
+//
+// dst[j] == f.HashRange(j, key, n) for every j, exactly.
+func (f *Family) HashRangeInto(dst []uint64, key, n uint64) {
+	// Hash64 and Reduce are small enough that the compiler inlines both
+	// here, so this loop body matches HashRange exactly by construction.
+	seeds := f.seeds[:len(dst)]
+	for j, seed := range seeds {
+		dst[j] = Reduce(Hash64(key, seed), n)
+	}
+}
+
 // Seed returns the derived seed of member j, for diagnostics and
 // serialization.
 func (f *Family) Seed(j int) uint64 { return f.seeds[j] }

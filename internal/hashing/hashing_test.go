@@ -278,3 +278,48 @@ func TestMulMod61AgainstBigIntStyle(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestHashRangeIntoMatchesHashRange(t *testing.T) {
+	f := NewFamily(257, 42)
+	for _, n := range []uint64{1, 2, 1 << 10, 1<<24 - 3, 1 << 63} {
+		for _, key := range []uint64{0, 1, 0xdeadbeef, ^uint64(0)} {
+			// Full family and a short prefix (dst shorter than K).
+			for _, k := range []int{257, 1, 64} {
+				dst := make([]uint64, k)
+				f.HashRangeInto(dst, key, n)
+				for j, got := range dst {
+					if want := f.HashRange(j, key, n); got != want {
+						t.Fatalf("HashRangeInto k=%d n=%d key=%#x member %d = %d, want %d",
+							k, n, key, j, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// benchSink keeps benchmark results live: HashRangeInto is inlineable, so
+// without a consumer the compiler deletes most of the measured work.
+var benchSink uint64
+
+func BenchmarkHashRangePerMember(b *testing.B) {
+	f := NewFamily(6400, 1)
+	dst := make([]uint64, 6400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range dst {
+			dst[j] = f.HashRange(j, uint64(i), 1<<24)
+		}
+		benchSink += dst[i&4095]
+	}
+}
+
+func BenchmarkHashRangeInto(b *testing.B) {
+	f := NewFamily(6400, 1)
+	dst := make([]uint64, 6400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.HashRangeInto(dst, uint64(i), 1<<24)
+		benchSink += dst[i&4095]
+	}
+}

@@ -1,0 +1,163 @@
+// Package poscache caches per-user []uint64 tables for the materialized
+// VOS query path. It serves two table kinds with one LRU implementation:
+//
+//   - Position tables (Get/Put): a user's array positions f_1(u) … f_k(u)
+//     depend only on the user key, the sketch seed, and the array length m
+//     — never on the array contents — so once computed they are valid for
+//     the lifetime of any sketch built from the same Config, across
+//     updates, merges, and snapshot rebuilds. Recomputing them is the
+//     hashing cost of a query (k seeded hashes, k = thousands at paper
+//     scale); caching them lets hot users skip hashing entirely.
+//
+//   - Recovered sketches (GetVersioned/PutVersioned): a user's packed
+//     recovered bits DO depend on the array contents, so entries carry the
+//     sketch's write-version stamp and a lookup hits only when the stamp
+//     still matches — any update invalidates every outstanding entry at
+//     once, for free, by bumping the version. On a quiescent sketch (an
+//     engine query snapshot, a read-heavy serving period) this turns a
+//     repeat pair comparison into a pure word-level XOR+popcount, ~k/64
+//     operations, with no hashing and no array probes at all.
+//
+// A Cache is safe for concurrent use: query paths race on it from many
+// goroutines (engine snapshots, parallel top-K workers). Cached slices are
+// immutable by contract — callers must treat a returned table as
+// read-only, and must not modify a slice after handing it to Put.
+package poscache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// Cache is a bounded, thread-safe LRU from user to position table.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[stream.User]*list.Element
+	order   *list.List // front = most recently used
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type entry struct {
+	user stream.User
+	ver  uint64
+	pos  []uint64
+}
+
+// New creates a cache holding the position tables of up to capacity users.
+// capacity must be positive. Each table costs k·8 bytes (k = SketchBits),
+// so total memory is bounded by capacity·k·8 bytes — size accordingly: at
+// the paper's k = 6400 a table is 50 KiB, so 256 entries ≈ 12.5 MiB.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		panic("poscache: capacity must be positive")
+	}
+	// No capacity hint: many sketches (every engine snapshot, every
+	// experiment run) carry a cache that never fills, and pre-sized
+	// buckets would tax each of them up front.
+	return &Cache{
+		cap:     capacity,
+		entries: make(map[stream.User]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Cap returns the maximum number of cached users.
+func (c *Cache) Cap() int { return c.cap }
+
+// Len returns the number of cached users.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Get returns user u's cached position table and marks it most recently
+// used. The returned slice is shared and must not be modified.
+func (c *Cache) Get(u stream.User) ([]uint64, bool) {
+	return c.GetVersioned(u, 0)
+}
+
+// Put stores user u's position table, evicting the least recently used
+// entry when the cache is full. The slice is retained; the caller must not
+// modify it afterwards. Re-putting an existing user refreshes recency and
+// replaces the table (the tables are equal anyway — positions are a pure
+// function of the user).
+func (c *Cache) Put(u stream.User, pos []uint64) {
+	c.PutVersioned(u, 0, pos)
+}
+
+// GetVersioned returns user u's cached table only when it was stored under
+// the same version stamp; a stale entry counts as a miss (it stays until
+// replaced or evicted — it can never hit again, because callers only look
+// up the current version). Position tables are version-free: use Get, or
+// equivalently a constant stamp of 0.
+func (c *Cache) GetVersioned(u stream.User, ver uint64) ([]uint64, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[u]
+	if !ok || el.Value.(*entry).ver != ver {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	pos := el.Value.(*entry).pos
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return pos, true
+}
+
+// PutVersioned stores user u's table under a version stamp, evicting the
+// least recently used entry when the cache is full. The slice is retained;
+// the caller must not modify it afterwards. Re-putting an existing user
+// refreshes recency and replaces both table and stamp.
+func (c *Cache) PutVersioned(u stream.User, ver uint64, pos []uint64) {
+	c.mu.Lock()
+	if el, ok := c.entries[u]; ok {
+		c.order.MoveToFront(el)
+		e := el.Value.(*entry)
+		e.ver, e.pos = ver, pos
+		c.mu.Unlock()
+		return
+	}
+	evicted := false
+	if c.order.Len() >= c.cap {
+		back := c.order.Back()
+		delete(c.entries, back.Value.(*entry).user)
+		c.order.Remove(back)
+		evicted = true
+	}
+	c.entries[u] = c.order.PushFront(&entry{user: u, ver: ver, pos: pos})
+	c.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// Stats is a counter snapshot for monitoring cache effectiveness.
+type Stats struct {
+	// Hits and Misses count Get outcomes; a low hit rate on a serving
+	// workload means the capacity is below the hot user set.
+	Hits, Misses uint64
+	// Evictions counts entries displaced by Put on a full cache.
+	Evictions uint64
+	// Len and Cap are the current and maximum entry counts.
+	Len, Cap int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Len:       c.Len(),
+		Cap:       c.cap,
+	}
+}

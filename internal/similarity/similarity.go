@@ -233,11 +233,36 @@ func (a *vosAdapter) EstimateJaccardMany(u stream.User, candidates []stream.User
 	return out
 }
 
+// TopKer is the optional native top-K fast path: estimators that can rank
+// candidates without materialising every score (VOS recovers the probe
+// user's packed sketch once and keeps a bounded min-heap) implement it,
+// and TopSimilar uses it automatically. The returned ranking must equal
+// sorting per-pair EstimateJaccard results descending with ties broken by
+// user ID, u excluded.
+type TopKer interface {
+	TopSimilarUsers(u stream.User, candidates []stream.User, n int) []stream.User
+}
+
+// TopSimilarUsers implements TopKer on the VOS adapter via the core
+// materialized top-K path.
+func (a *vosAdapter) TopSimilarUsers(u stream.User, candidates []stream.User, n int) []stream.User {
+	top := a.v.TopK(u, candidates, n)
+	out := make([]stream.User, len(top))
+	for i, r := range top {
+		out[i] = r.User
+	}
+	return out
+}
+
 // TopSimilar returns, for an estimator and a candidate user set, the n
 // users most similar to u by estimated Jaccard, descending (ties broken by
 // user ID). The building block of the "similar users" examples. Estimators
-// implementing BatchJaccard are queried through the batch fast path.
+// implementing TopKer rank through the native heap path; BatchJaccard
+// estimators are queried through the batch fast path.
 func TopSimilar(est Estimator, u stream.User, candidates []stream.User, n int) []stream.User {
+	if tk, ok := est.(TopKer); ok {
+		return tk.TopSimilarUsers(u, candidates, n)
+	}
 	type scored struct {
 		user stream.User
 		j    float64

@@ -87,6 +87,19 @@ type Config = core.Config
 // difference, and the internal α/β diagnostics.
 type Estimate = core.Estimate
 
+// Recovered is a packed snapshot of one user's recovered virtual sketch,
+// produced by Sketch.RecoverSketch. A similarity search recovers the probe
+// user once and compares every candidate against the packed bits with a
+// word-level XOR + popcount (Sketch.QueryRecovered, Sketch.TopK) instead
+// of re-hashing the probe's k positions per pair. Snapshots are valid
+// until the next Process call.
+type Recovered = core.Recovered
+
+// TopKResult pairs a candidate user with its similarity estimate, the
+// element type of Sketch.TopK and Engine.TopK: highest estimated Jaccard
+// first, ties broken by user ID.
+type TopKResult = core.TopKResult
+
 // Stats summarises sketch state (array load β, memory, user count).
 type Stats = core.Stats
 
