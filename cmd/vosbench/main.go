@@ -42,7 +42,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (fig2a fig2b fig3a fig3b fig3c fig3d abl-lambda abl-load abl-dense abl-delbias compare throughput all)")
+		experiment = flag.String("experiment", "all", "experiment id (fig2a fig2b fig3a fig3b fig3c fig3d abl-lambda abl-load abl-dense abl-delbias compare throughput query all)")
 		scale      = flag.Float64("scale", 0.01, "dataset profile scale factor (paper scale = 1.0)")
 		seed       = flag.Int64("seed", 2, "workload seed")
 		k32        = flag.Int("k", 100, "registers per user for the baselines (paper: 100)")

@@ -155,9 +155,10 @@ func (b *Bitset) XorCount(o *Bitset) uint64 {
 }
 
 // XorCountWords is XorCount against a raw packed word slice, as returned
-// by Words — the pure word-level pair comparison between two cached
+// by UnsafeWords — the pure word-level pair comparison between two cached
 // recovered sketches. len(ws) must equal the word count of b, and any tail
-// bits past b.Len() must be zero (Words output always satisfies both).
+// bits past b.Len() must be zero (UnsafeWords output always satisfies
+// both).
 func (b *Bitset) XorCountWords(ws []uint64) uint64 {
 	if len(ws) != len(b.words) {
 		panic("bitset: word-count mismatch in XorCountWords")
@@ -169,24 +170,35 @@ func (b *Bitset) XorCountWords(ws []uint64) uint64 {
 	return ones
 }
 
-// Words exposes the backing word slice, least-significant bit first, tail
-// bits zero. The slice is shared with the bitset: callers must treat it as
-// read-only. It exists so packed recovered sketches can be cached as plain
-// []uint64 values and compared later with XorCountWords.
-func (b *Bitset) Words() []uint64 { return b.words }
+// UnsafeWords exposes the backing word slice, least-significant bit first,
+// tail bits zero, WITHOUT copying — "Unsafe" because the slice aliases the
+// bitset's storage and mutating it would silently corrupt the bitset
+// (ones count included) and every cache entry sharing it. Callers must
+// treat the result as read-only. It exists so packed recovered sketches
+// can be cached as plain []uint64 values and compared later with
+// XorCountWords.
+func (b *Bitset) UnsafeWords() []uint64 { return b.words }
 
-// FromWordsShared wraps a Words-style slice as an n-bit Bitset WITHOUT
-// copying: the bitset and the slice share storage, so neither may be
-// mutated afterwards (read-only views over cached packed sketches). The
-// slice must hold exactly (n+63)/64 words with zero tail bits, as Words
-// produces.
-func FromWordsShared(ws []uint64, n uint64) *Bitset {
-	if n == 0 || len(ws) != int((n+63)/64) {
-		panic(fmt.Sprintf("bitset: FromWordsShared: %d words cannot back %d bits", len(ws), n))
-	}
+// FromWordsUnsafe wraps an UnsafeWords-style slice as an n-bit Bitset
+// WITHOUT copying: the bitset and the slice share storage, so neither may
+// be mutated afterwards (read-only views over cached packed sketches). The
+// slice must hold exactly (n+63)/64 words with zero tail bits, as
+// UnsafeWords produces.
+func FromWordsUnsafe(ws []uint64, n uint64) *Bitset {
 	ones := uint64(0)
 	for _, w := range ws {
 		ones += uint64(bits.OnesCount64(w))
+	}
+	return FromWordsCountedUnsafe(ws, n, ones)
+}
+
+// FromWordsCountedUnsafe is FromWordsUnsafe with a caller-supplied ones
+// count, skipping the recount — for cache hits where Count was recorded
+// when the words were first materialised. ones must equal the popcount of
+// ws; the same aliasing contract applies.
+func FromWordsCountedUnsafe(ws []uint64, n, ones uint64) *Bitset {
+	if n == 0 || len(ws) != int((n+63)/64) {
+		panic(fmt.Sprintf("bitset: FromWords*Unsafe: %d words cannot back %d bits", len(ws), n))
 	}
 	return &Bitset{words: ws, n: n, ones: ones}
 }

@@ -68,8 +68,8 @@ func (v *VOS) releasePositions(p []uint64) { v.posScratch.Put(&p) }
 
 // Recovered is a dense snapshot of one user's virtual odd sketch, reusable
 // across queries against a fixed sketch state. It is invalidated by any
-// subsequent Process call (the shared array changes underneath it);
-// re-recover after updates.
+// subsequent write — Process or Merge — (the shared array changes
+// underneath it); re-recover after updates.
 type Recovered struct {
 	user stream.User
 	bits *bitset.Bitset
@@ -99,13 +99,13 @@ func (v *VOS) RecoverSketch(u stream.User) *Recovered {
 // bitset is read-only by the Recovered contract.
 func (v *VOS) recoverBits(u stream.User) *bitset.Bitset {
 	if v.rec != nil {
-		if ws, ok := v.rec.GetVersioned(u, v.version); ok {
-			return bitset.FromWordsShared(ws, uint64(v.cfg.SketchBits))
+		if ws, ones, ok := v.rec.GetVersioned(u, v.version); ok {
+			return bitset.FromWordsCountedUnsafe(ws, uint64(v.cfg.SketchBits), ones)
 		}
 	}
 	bits := v.gatherBits(u)
 	if v.rec != nil {
-		v.rec.PutVersioned(u, v.version, bits.Words())
+		v.rec.PutVersioned(u, v.version, bits.UnsafeWords(), bits.Count())
 	}
 	return bits
 }
@@ -135,13 +135,13 @@ func (v *VOS) QueryRecovered(r *Recovered, w stream.User) Estimate {
 	if v.rec != nil {
 		// Hot path: compare the packed snapshots word for word, straight
 		// off the cached slice — no gather, no allocation, no recount.
-		if ws, ok := v.rec.GetVersioned(w, v.version); ok {
+		if ws, _, ok := v.rec.GetVersioned(w, v.version); ok {
 			return v.estimateFrom(int(r.bits.XorCountWords(ws)), r.card, v.card[w], r.beta)
 		}
 		// Miss: materialise w's bits (rather than fusing the XOR into the
 		// gather) so the cache warms and the next pass runs probe-free.
 		bits := v.gatherBits(w)
-		v.rec.PutVersioned(w, v.version, bits.Words())
+		v.rec.PutVersioned(w, v.version, bits.UnsafeWords(), bits.Count())
 		return v.estimateFrom(int(r.bits.XorCount(bits)), r.card, v.card[w], r.beta)
 	}
 	pos, scratch := v.lookupPositions(w)

@@ -115,6 +115,14 @@ func UnmarshalVOS(data []byte) (*VOS, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Process/Merge prune zero-cardinality entries, so Marshal never
+		// writes one — and Users() = len(card) depends on the map never
+		// holding a zero. Negative counters (stored as two's-complement
+		// uint64) ARE valid: delete-before-insert reordering passes through
+		// them, and a checkpoint can land in that window.
+		if c == 0 {
+			return nil, fmt.Errorf("%w: user %d has zero cardinality", ErrCorrupt, u)
+		}
 		v.card[stream.User(u)] = int64(c)
 	}
 

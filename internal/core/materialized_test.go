@@ -153,6 +153,32 @@ func TestRecoverSketchMatchesRecoverBit(t *testing.T) {
 	}
 }
 
+// TestRecoveredCacheHitCarriesCount pins the cached popcount: a cache hit
+// wraps the stored words with the ones count recorded at fill time
+// (FromWordsCountedUnsafe, skipping a k-bit recount), so Count on a served
+// snapshot must match a fresh bit-by-bit recount.
+func TestRecoveredCacheHitCarriesCount(t *testing.T) {
+	v, users := materializedWorkload(t, Config{MemoryBits: 1 << 16, SketchBits: 512, Seed: 9})
+	v.SetRecoveredCacheCapacity(0)
+	for _, u := range users[:10] {
+		cold := v.RecoverSketch(u) // fills the cache
+		hit := v.RecoverSketch(u)  // serves from it
+		recount := uint64(0)
+		for j := 0; j < v.K(); j++ {
+			if hit.bits.Get(uint64(j)) {
+				recount++
+			}
+		}
+		if hit.bits.Count() != recount || cold.bits.Count() != recount {
+			t.Fatalf("user %d: cached count %d, cold %d, recount %d",
+				u, hit.bits.Count(), cold.bits.Count(), recount)
+		}
+	}
+	if rst, ok := v.RecoveredCacheStats(); !ok || rst.Hits == 0 {
+		t.Fatalf("repeat RecoverSketch never hit the cache: %+v", rst)
+	}
+}
+
 // topKReference ranks candidates by per-pair scalar queries and a full
 // sort — the semantics TopK must reproduce.
 func topKReference(v *VOS, u stream.User, candidates []stream.User, n int) []TopKResult {
@@ -201,6 +227,15 @@ func TestTopKEmptyAndDegenerate(t *testing.T) {
 	}
 	if got := v.TopK(1, users, 0); len(got) != 0 {
 		t.Errorf("n=0: %d results", len(got))
+	}
+	// A huge or negative n — e.g. straight from an untrusted request body —
+	// must clamp instead of panicking in the heap's capacity allocation.
+	want := topKReference(v, 1, users, len(users))
+	if got := v.TopK(1, users, 1<<62); len(got) != len(want) {
+		t.Errorf("huge n: %d results, want %d", len(got), len(want))
+	}
+	if got := v.TopK(1, users, -1); len(got) != 0 {
+		t.Errorf("negative n: %d results, want 0", len(got))
 	}
 }
 

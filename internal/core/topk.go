@@ -112,6 +112,15 @@ func (v *VOS) TopK(u stream.User, candidates []stream.User, n int) []TopKResult 
 // the probe once and hands each goroutine a candidate range. r.User() is
 // skipped if present among the candidates.
 func (v *VOS) TopKRecovered(r *Recovered, candidates []stream.User, n int) []TopKResult {
+	// Clamp before the heap pre-allocates capacity n: the result can never
+	// exceed the candidate count, and callers pass n straight from
+	// untrusted request bodies (examples/similarityserver).
+	if n > len(candidates) {
+		n = len(candidates)
+	}
+	if n < 0 {
+		n = 0
+	}
 	h := newTopHeap(n)
 	for _, w := range candidates {
 		if w == r.user {

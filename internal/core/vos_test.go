@@ -378,16 +378,52 @@ func TestUnmarshalRejectsCorruption(t *testing.T) {
 	v.Process(stream.Edge{User: 1, Item: 1, Op: stream.Insert})
 	data, _ := v.MarshalBinary()
 
+	// The single user's cardinality field sits after magic(4) + config(24)
+	// + user count(8) + user id(8).
+	const cardOff = 4 + 3*8 + 8 + 8
+	zeroCard := append([]byte(nil), data...)
+	for i := 0; i < 8; i++ {
+		zeroCard[cardOff+i] = 0
+	}
+
 	cases := map[string][]byte{
 		"empty":      {},
 		"bad magic":  append([]byte{'X'}, data[1:]...),
 		"truncated":  data[:20],
 		"short body": data[:len(data)-3],
+		// Process/Merge prune zeros, so Users() = len(card) relies on no
+		// zero-cardinality entry ever loading.
+		"zero cardinality": zeroCard,
 	}
 	for name, d := range cases {
 		if _, err := UnmarshalVOS(d); err == nil {
 			t.Errorf("%s: corruption not detected", name)
 		}
+	}
+}
+
+// TestMarshalRoundTripsNegativeCardinality pins that the zero-cardinality
+// corruption check does NOT reject valid negative counters: delete-before-
+// insert reordering leaves card[u] < 0 (stored as two's-complement uint64),
+// and a checkpoint taken in that window must stay recoverable.
+func TestMarshalRoundTripsNegativeCardinality(t *testing.T) {
+	v := MustNew(Config{MemoryBits: 1024, SketchBits: 64, Seed: 2})
+	v.Process(stream.Edge{User: 1, Item: 1, Op: stream.Delete}) // card[1] = -1
+	data, err := v.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalVOS(data)
+	if err != nil {
+		t.Fatalf("negative-cardinality checkpoint rejected: %v", err)
+	}
+	if got.card[1] != -1 {
+		t.Fatalf("card[1] = %d, want -1", got.card[1])
+	}
+	// The matching insert must still cancel the entry after recovery.
+	got.Process(stream.Edge{User: 1, Item: 1, Op: stream.Insert})
+	if got.Users() != 0 {
+		t.Fatalf("Users() after cancellation = %d, want 0", got.Users())
 	}
 }
 

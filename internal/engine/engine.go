@@ -541,13 +541,12 @@ func (e *Engine) TopK(u stream.User, candidates []stream.User, n int) []core.Top
 	r := snap.RecoverSketch(u)
 	tops := make([][]core.TopKResult, workers)
 	var wg sync.WaitGroup
-	chunk := (len(candidates) + workers - 1) / workers
+	// Exact partition: worker w gets [w*len/workers, (w+1)*len/workers).
+	// Unlike ceil-chunking this never produces lo > hi, whatever the
+	// workers/len ratio.
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(candidates) {
-			hi = len(candidates)
-		}
+		lo := w * len(candidates) / workers
+		hi := (w + 1) * len(candidates) / workers
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()

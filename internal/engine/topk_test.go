@@ -70,6 +70,39 @@ func TestTopKMatchesSequentialSnapshot(t *testing.T) {
 	}
 }
 
+// TestTopKPartitionHighWorkerCount pins the worker range arithmetic at the
+// ratio that broke ceil-chunking: with GOMAXPROCS past the candidate-derived
+// cap, workers = len/64, and len = 64*workers + 1 made the last ceil-chunk
+// start past the end of the slice (lo > hi → slice-bounds panic in a worker
+// goroutine). The exact partition must hand every worker a valid range and
+// still return the sequential answer.
+func TestTopKPartitionHighWorkerCount(t *testing.T) {
+	prev := runtime.GOMAXPROCS(128)
+	defer runtime.GOMAXPROCS(prev)
+
+	e, users := topkWorkload(t, 2)
+	defer e.Close()
+
+	// 4289 = 64*67 + 1 → workers = min(128, 4289/64) = 67, the reviewer's
+	// panicking configuration; plus neighbours of the boundary.
+	for _, nc := range []int{64*67 + 1, 64 * 67, 64*67 - 1, 64*2 + 1} {
+		candidates := make([]stream.User, nc)
+		for i := range candidates {
+			candidates[i] = users[i%len(users)]
+		}
+		got := e.TopK(users[7], candidates, 10)
+		want := e.snapshot().TopK(users[7], candidates, 10)
+		if len(got) != len(want) {
+			t.Fatalf("len=%d: %d results, want %d", nc, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("len=%d rank %d: got %d, want %d", nc, i, got[i].User, want[i].User)
+			}
+		}
+	}
+}
+
 // TestTopKConcurrent races many TopK callers (and the snapshot they share)
 // against each other on a quiescent engine; under -race this pins the
 // read-only fan-out and the locked position cache as race-clean.

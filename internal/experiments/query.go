@@ -68,7 +68,11 @@ func QueryPerf(opts Options) (*Table, error) {
 	// bit before any timing is reported.
 	sk.EnablePositionCache(nCand + 1)
 	sk.SetRecoveredCacheCapacity(0)
-	for _, w := range candidates[:50] {
+	nParity := 50
+	if len(candidates) < nParity {
+		nParity = len(candidates)
+	}
+	for _, w := range candidates[:nParity] {
 		if sk.Query(probe, w) != sk.QueryPerBit(probe, w) {
 			return nil, fmt.Errorf("experiments: materialized query mismatch for pair (%d,%d)", probe, w)
 		}
@@ -86,16 +90,26 @@ func QueryPerf(opts Options) (*Table, error) {
 	tbl.AddNote("GOMAXPROCS=%d (engine row fans out across cores)", runtime.GOMAXPROCS(0))
 
 	// timeOp runs fn repeatedly until budget elapses (at least once) and
-	// returns ns per call.
+	// returns ns per call. Calls run in geometrically growing blocks
+	// between clock reads, so the ~20-30ns cost of time.Since does not
+	// inflate the sub-microsecond warm paths; slow paths keep blocks small
+	// and stay near budget.
 	timeOp := func(budget time.Duration, fn func()) float64 {
 		fn() // warm
-		reps := 0
+		reps, block := 0, 1
 		t0 := time.Now()
-		for time.Since(t0) < budget || reps == 0 {
-			fn()
-			reps++
+		elapsed := time.Duration(0)
+		for elapsed < budget || reps == 0 {
+			for i := 0; i < block; i++ {
+				fn()
+			}
+			reps += block
+			elapsed = time.Since(t0)
+			if block < 1024 && elapsed < budget/2 {
+				block *= 2
+			}
 		}
-		return float64(time.Since(t0).Nanoseconds()) / float64(reps)
+		return float64(elapsed.Nanoseconds()) / float64(reps)
 	}
 	const pairBudget = 200 * time.Millisecond
 	const topkBudget = 400 * time.Millisecond

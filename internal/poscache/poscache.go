@@ -48,6 +48,10 @@ type entry struct {
 	user stream.User
 	ver  uint64
 	pos  []uint64
+	// aux is an opaque caller value stored alongside the table; the
+	// recovered-sketch path keeps the packed popcount here so a cache hit
+	// skips recounting k bits. Position tables leave it zero.
+	aux uint64
 }
 
 // New creates a cache holding the position tables of up to capacity users.
@@ -81,7 +85,8 @@ func (c *Cache) Len() int {
 // Get returns user u's cached position table and marks it most recently
 // used. The returned slice is shared and must not be modified.
 func (c *Cache) Get(u stream.User) ([]uint64, bool) {
-	return c.GetVersioned(u, 0)
+	pos, _, ok := c.GetVersioned(u, 0)
+	return pos, ok
 }
 
 // Put stores user u's position table, evicting the least recently used
@@ -90,39 +95,42 @@ func (c *Cache) Get(u stream.User) ([]uint64, bool) {
 // replaces the table (the tables are equal anyway — positions are a pure
 // function of the user).
 func (c *Cache) Put(u stream.User, pos []uint64) {
-	c.PutVersioned(u, 0, pos)
+	c.PutVersioned(u, 0, pos, 0)
 }
 
-// GetVersioned returns user u's cached table only when it was stored under
-// the same version stamp; a stale entry counts as a miss (it stays until
-// replaced or evicted — it can never hit again, because callers only look
-// up the current version). Position tables are version-free: use Get, or
-// equivalently a constant stamp of 0.
-func (c *Cache) GetVersioned(u stream.User, ver uint64) ([]uint64, bool) {
+// GetVersioned returns user u's cached table — and the aux value stored
+// with it — only when it was stored under the same version stamp; a stale
+// entry counts as a miss (it stays until replaced or evicted — it can
+// never hit again, because callers only look up the current version).
+// Position tables are version-free: use Get, or equivalently a constant
+// stamp of 0.
+func (c *Cache) GetVersioned(u stream.User, ver uint64) ([]uint64, uint64, bool) {
 	c.mu.Lock()
 	el, ok := c.entries[u]
 	if !ok || el.Value.(*entry).ver != ver {
 		c.mu.Unlock()
 		c.misses.Add(1)
-		return nil, false
+		return nil, 0, false
 	}
 	c.order.MoveToFront(el)
-	pos := el.Value.(*entry).pos
+	e := el.Value.(*entry)
+	pos, aux := e.pos, e.aux
 	c.mu.Unlock()
 	c.hits.Add(1)
-	return pos, true
+	return pos, aux, true
 }
 
-// PutVersioned stores user u's table under a version stamp, evicting the
-// least recently used entry when the cache is full. The slice is retained;
-// the caller must not modify it afterwards. Re-putting an existing user
-// refreshes recency and replaces both table and stamp.
-func (c *Cache) PutVersioned(u stream.User, ver uint64, pos []uint64) {
+// PutVersioned stores user u's table and an opaque aux value under a
+// version stamp, evicting the least recently used entry when the cache is
+// full. The slice is retained; the caller must not modify it afterwards.
+// Re-putting an existing user refreshes recency and replaces table, stamp,
+// and aux.
+func (c *Cache) PutVersioned(u stream.User, ver uint64, pos []uint64, aux uint64) {
 	c.mu.Lock()
 	if el, ok := c.entries[u]; ok {
 		c.order.MoveToFront(el)
 		e := el.Value.(*entry)
-		e.ver, e.pos = ver, pos
+		e.ver, e.pos, e.aux = ver, pos, aux
 		c.mu.Unlock()
 		return
 	}
@@ -133,7 +141,7 @@ func (c *Cache) PutVersioned(u stream.User, ver uint64, pos []uint64) {
 		c.order.Remove(back)
 		evicted = true
 	}
-	c.entries[u] = c.order.PushFront(&entry{user: u, ver: ver, pos: pos})
+	c.entries[u] = c.order.PushFront(&entry{user: u, ver: ver, pos: pos, aux: aux})
 	c.mu.Unlock()
 	if evicted {
 		c.evictions.Add(1)

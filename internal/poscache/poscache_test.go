@@ -115,21 +115,21 @@ func TestConcurrentAccess(t *testing.T) {
 
 func TestVersionedEntriesInvalidateOnStamp(t *testing.T) {
 	c := New(4)
-	c.PutVersioned(1, 7, table(70))
-	if _, ok := c.GetVersioned(1, 8); ok {
+	c.PutVersioned(1, 7, table(70), 7000)
+	if _, _, ok := c.GetVersioned(1, 8); ok {
 		t.Fatal("stale version stamp must miss")
 	}
-	pos, ok := c.GetVersioned(1, 7)
-	if !ok || pos[0] != 70 {
-		t.Fatalf("matching stamp: %v, %v", pos, ok)
+	pos, aux, ok := c.GetVersioned(1, 7)
+	if !ok || pos[0] != 70 || aux != 7000 {
+		t.Fatalf("matching stamp: %v, aux=%d, %v", pos, aux, ok)
 	}
-	// Re-put under a newer stamp replaces table and stamp in place.
-	c.PutVersioned(1, 8, table(80))
-	if _, ok := c.GetVersioned(1, 7); ok {
+	// Re-put under a newer stamp replaces table, stamp, and aux in place.
+	c.PutVersioned(1, 8, table(80), 8000)
+	if _, _, ok := c.GetVersioned(1, 7); ok {
 		t.Fatal("old stamp must miss after re-put")
 	}
-	if pos, ok := c.GetVersioned(1, 8); !ok || pos[0] != 80 {
-		t.Fatalf("new stamp: %v, %v", pos, ok)
+	if pos, aux, ok := c.GetVersioned(1, 8); !ok || pos[0] != 80 || aux != 8000 {
+		t.Fatalf("new stamp: %v, aux=%d, %v", pos, aux, ok)
 	}
 	if c.Len() != 1 {
 		t.Fatalf("re-put duplicated the entry: len=%d", c.Len())
@@ -142,7 +142,7 @@ func TestVersionedAndPlainEntriesCoexist(t *testing.T) {
 	// namespace is shared — last put wins.
 	c := New(2)
 	c.Put(1, table(1))
-	if pos, ok := c.GetVersioned(1, 0); !ok || pos[0] != 1 {
+	if pos, _, ok := c.GetVersioned(1, 0); !ok || pos[0] != 1 {
 		t.Fatalf("plain put invisible to stamp 0: %v %v", pos, ok)
 	}
 }

@@ -92,7 +92,7 @@ type Estimate = core.Estimate
 // user once and compares every candidate against the packed bits with a
 // word-level XOR + popcount (Sketch.QueryRecovered, Sketch.TopK) instead
 // of re-hashing the probe's k positions per pair. Snapshots are valid
-// until the next Process call.
+// until the next write (Process or Merge).
 type Recovered = core.Recovered
 
 // TopKResult pairs a candidate user with its similarity estimate, the
