@@ -13,15 +13,19 @@
 package vos_test
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
 	"sort"
 	"sync/atomic"
 	"testing"
 
 	"github.com/vossketch/vos"
+	"github.com/vossketch/vos/client"
 	"github.com/vossketch/vos/internal/experiments"
 	"github.com/vossketch/vos/internal/gen"
 	"github.com/vossketch/vos/internal/similarity"
+	"github.com/vossketch/vos/server"
 )
 
 // benchOptions shrink the workloads so a full -bench=. pass stays in the
@@ -529,4 +533,98 @@ func BenchmarkTopK(b *testing.B) {
 			topKSink = eng.TopK(1, candidates, n)
 		}
 	})
+}
+
+// wireFixture starts an engine-backed /v1/ server on a loopback httptest
+// listener with a client over it — the fixture for the serving benchmarks,
+// which measure the HTTP+JSON/binary wire overhead on top of the
+// in-process paths benchmarked above.
+func wireFixture(b *testing.B, cfg vos.EngineConfig, clOpts client.Options) (*vos.Engine, *client.Client, func()) {
+	b.Helper()
+	eng, err := vos.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(vos.NewEngineService(eng), server.Options{}))
+	cl := client.New(ts.URL, clOpts)
+	return eng, cl, func() {
+		cl.Close()
+		ts.Close()
+		eng.Close()
+	}
+}
+
+// BenchmarkServerIngest measures acknowledged ingest through the full wire
+// path — client binary batching → HTTP → server decode → engine — in
+// ns/edge, the number to put beside BenchmarkEngineIngest's in-process
+// cost. One iteration ships one 512-edge batch synchronously (the client's
+// linger ticker is disabled so batch boundaries are deterministic).
+func BenchmarkServerIngest(b *testing.B) {
+	const batch = 512
+	eng, cl, cleanup := wireFixture(b, vos.EngineConfig{
+		Sketch: vos.Config{MemoryBits: 1 << 24, SketchBits: 6400, Seed: 1},
+		Shards: 2,
+	}, client.Options{BatchSize: batch, Linger: -1})
+	defer cleanup()
+	_ = eng
+	ctx := context.Background()
+	edges := make([]vos.Edge, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range edges {
+			// Fresh (user, item) pairs per iteration keep the stream
+			// feasible-shaped without touching the timer.
+			edges[j] = vos.Edge{
+				User: vos.User(uint64(j) % 997),
+				Item: vos.Item(uint64(i)*batch + uint64(j)),
+				Op:   vos.Insert,
+			}
+		}
+		if err := cl.Ingest(ctx, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/edge")
+}
+
+// BenchmarkClientTopK measures the issue's headline query — top 10 of 1000
+// candidates at paper scale — through client→server→engine over loopback,
+// the remote counterpart of BenchmarkTopK/engine. The engine's caches are
+// warmed first, so the measured gap to the in-process number is wire cost
+// (JSON encode/decode + HTTP round-trip), not sketch work.
+func BenchmarkClientTopK(b *testing.B) {
+	eng, cl, cleanup := wireFixture(b, vos.EngineConfig{
+		Sketch:             vos.Config{MemoryBits: 1 << 24, SketchBits: 6400, Seed: 1},
+		Shards:             2,
+		PositionCacheUsers: 1024 + 1,
+	}, client.Options{Linger: -1})
+	defer cleanup()
+	ctx := context.Background()
+	var edges []vos.Edge
+	for i := 0; i < 500; i++ {
+		edges = append(edges, vos.Edge{User: 1, Item: vos.Item(i), Op: vos.Insert})
+	}
+	candidates := make([]vos.User, 1000)
+	for c := 0; c < 1000; c++ {
+		candidates[c] = vos.User(c + 2)
+		for i := 0; i < 20; i++ {
+			edges = append(edges, vos.Edge{User: vos.User(c + 2), Item: vos.Item(c + i*30), Op: vos.Insert})
+		}
+	}
+	if err := cl.Ingest(ctx, edges); err != nil {
+		b.Fatal(err)
+	}
+	if err := cl.Flush(ctx); err != nil {
+		b.Fatal(err)
+	}
+	eng.TopK(1, candidates, 10) // build the snapshot, warm the caches
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		top, err := cl.TopK(ctx, 1, candidates, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		topKSink = top
+	}
 }

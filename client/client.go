@@ -1,0 +1,463 @@
+// Package client is the Go client for the /v1/ HTTP API served by package
+// server: a vos.SimilarityService implementation over the wire, so a caller
+// can swap an in-process engine for a remote vosd daemon by changing one
+// constructor.
+//
+// Writes batch like the engine's producer path: Ingest appends to a
+// pending buffer, full batches of Options.BatchSize edges are shipped
+// synchronously in the compact VOSSTRM1 binary format, and a background
+// linger ticker ships partial batches so an idle stream's tail never sits
+// unsent (Flush forces the residue out, Close flushes and stops the
+// ticker). Reads — similarity, top-K, cardinality, stats — are idempotent
+// and retried on transient transport errors and 5xx responses with
+// exponential backoff; context cancellation is honoured everywhere and is
+// never retried.
+//
+// Server-side failures carry the typed envelope
+// {"error":{"code":...,"message":...}}; the client surfaces them as *Error
+// with the code and HTTP status preserved, and maps lifecycle codes back
+// onto the vos sentinels, so errors.Is(err, vos.ErrClosed) works the same
+// against a remote service as against a local one.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/vossketch/vos"
+	"github.com/vossketch/vos/internal/stream"
+	"github.com/vossketch/vos/server"
+)
+
+// Error is a typed server-side failure, decoded from the /v1/ error
+// envelope. Transport failures (connection refused, timeouts) are returned
+// as-is, not wrapped in Error.
+type Error struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the envelope code (server.Code*); branch on this.
+	Code string
+	// Message is the human-readable detail.
+	Message string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("vos server: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
+}
+
+// Is maps envelope codes back onto the service-layer sentinels:
+// unavailable matches vos.ErrClosed and vos.ErrQueryUnavailable, canceled
+// and timeout match the context errors — so code written against an
+// in-process SimilarityService keeps working against a remote one.
+func (e *Error) Is(target error) bool {
+	switch e.Code {
+	case server.CodeUnavailable:
+		return target == vos.ErrClosed || target == vos.ErrQueryUnavailable
+	case server.CodeCanceled:
+		return target == context.Canceled
+	case server.CodeTimeout:
+		return target == context.DeadlineExceeded
+	}
+	return false
+}
+
+// Options tunes a Client. The zero value selects the defaults.
+type Options struct {
+	// HTTPClient overrides the transport. Default: a client with a 30s
+	// overall timeout (per-request contexts still apply on top).
+	HTTPClient *http.Client
+	// BatchSize is how many edges Ingest buffers before shipping a batch
+	// — the same knob as EngineConfig.BatchSize, one wire round-trip per
+	// batch. Default 256.
+	BatchSize int
+	// Linger bounds how long a partial batch sits unsent on an idle
+	// stream: a background ticker flushes this often. Negative disables
+	// the ticker (then only full batches, Flush, and Close ship edges).
+	// Default 50ms.
+	Linger time.Duration
+	// MaxRetries is how many times idempotent reads are retried after a
+	// transport error or 5xx (so MaxRetries+1 attempts total). Writes are
+	// never retried — replaying an XOR toggle would corrupt parity.
+	// Default 2; negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the first retry's delay; each subsequent retry
+	// doubles it. Default 50ms.
+	RetryBackoff time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	if o.Linger == 0 {
+		o.Linger = 50 * time.Millisecond
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	} else if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	return o
+}
+
+// Client implements vos.SimilarityService (and vos.Checkpointer) over the
+// /v1/ HTTP API. Safe for concurrent use. Close when done so buffered
+// edges are shipped and the linger ticker stops.
+type Client struct {
+	base string
+	opt  Options
+
+	mu      sync.Mutex
+	pend    []vos.Edge
+	pendErr error // first error from a background linger flush
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Compile-time interface checks: the remote client is a drop-in
+// SimilarityService.
+var (
+	_ vos.SimilarityService = (*Client)(nil)
+	_ vos.Checkpointer      = (*Client)(nil)
+)
+
+// New creates a Client for the API at baseURL (e.g. "http://host:8080");
+// any trailing slash is trimmed.
+func New(baseURL string, opt Options) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		opt:  opt.withDefaults(),
+		stop: make(chan struct{}),
+	}
+	if c.opt.Linger > 0 {
+		c.wg.Add(1)
+		go c.linger()
+	}
+	return c
+}
+
+// linger ships partial batches in the background, mirroring the engine's
+// producer ticker. Errors are parked in pendErr and surfaced by the next
+// Ingest or Flush — a background goroutine has nobody to return to.
+func (c *Client) linger() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opt.Linger)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			if err := c.Flush(context.Background()); err != nil {
+				c.mu.Lock()
+				if c.pendErr == nil {
+					c.pendErr = err
+				}
+				c.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Ingest implements vos.SimilarityService: edges join the pending buffer
+// and every full BatchSize chunk is shipped synchronously. A nil return
+// means shipped batches were accepted by the server; a trailing partial
+// batch may still be buffered (the linger ticker or Flush ships it). On a
+// ship failure, only the batch that was actually attempted is in an
+// ambiguous state (and is not resent — see ship); every batch not yet
+// attempted goes back into the pending buffer, so one transport failure
+// never silently discards edges that were never put on the wire.
+func (c *Client) Ingest(ctx context.Context, edges []vos.Edge) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return vos.ErrClosed
+	}
+	if err := c.pendErr; err != nil {
+		c.pendErr = nil
+		c.mu.Unlock()
+		return err
+	}
+	c.pend = append(c.pend, edges...)
+	var full [][]vos.Edge
+	for len(c.pend) >= c.opt.BatchSize {
+		full = append(full, c.pend[:c.opt.BatchSize:c.opt.BatchSize])
+		c.pend = c.pend[c.opt.BatchSize:]
+	}
+	if len(c.pend) == 0 {
+		c.pend = nil
+	}
+	c.mu.Unlock()
+	for bi, batch := range full {
+		if err := c.ship(ctx, batch); err != nil {
+			c.requeue(full[bi+1:])
+			return err
+		}
+	}
+	return nil
+}
+
+// requeue puts never-attempted batches back at the head of the pending
+// buffer (ahead of anything buffered since — original order preserved).
+func (c *Client) requeue(batches [][]vos.Edge) {
+	n := 0
+	for _, b := range batches {
+		n += len(b)
+	}
+	if n == 0 {
+		return
+	}
+	c.mu.Lock()
+	restored := make([]vos.Edge, 0, n+len(c.pend))
+	for _, b := range batches {
+		restored = append(restored, b...)
+	}
+	c.pend = append(restored, c.pend...)
+	c.mu.Unlock()
+}
+
+// Flush ships the pending partial batch, giving read-your-writes to a
+// subsequent query. A parked background-flush error is surfaced first,
+// WITHOUT consuming the buffer: edges buffered since that failure were
+// never put on the wire, and dropping them alongside the error would
+// silently diverge the remote sketch — the caller retries Flush after
+// handling the error. (Edges inside a failed attempted ship are
+// ambiguous — possibly applied — and are never resent; see ship.)
+func (c *Client) Flush(ctx context.Context) error {
+	c.mu.Lock()
+	if err := c.pendErr; err != nil {
+		c.pendErr = nil
+		c.mu.Unlock()
+		return err
+	}
+	out := c.pend
+	c.pend = nil
+	c.mu.Unlock()
+	if len(out) == 0 {
+		return nil
+	}
+	return c.ship(ctx, out)
+}
+
+// Close flushes buffered edges and stops the linger ticker. The client is
+// unusable afterwards.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stop)
+	c.wg.Wait()
+	return c.Flush(context.Background())
+}
+
+// ship POSTs one batch in the binary stream format. Not retried: ingest is
+// an XOR toggle, and a retry after an ambiguous failure (request possibly
+// applied) would corrupt parity. Callers that need exactly-once on top of
+// an unreliable link should run the server durable and re-checkpoint.
+func (c *Client) ship(ctx context.Context, edges []vos.Edge) error {
+	var buf bytes.Buffer
+	if err := stream.WriteBinary(&buf, edges); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+server.RouteEdges, &buf)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", server.ContentTypeBinary)
+	var ack server.IngestResponse
+	if err := c.do(req, &ack); err != nil {
+		return err
+	}
+	if ack.Accepted != len(edges) {
+		return fmt.Errorf("client: server accepted %d of %d edges", ack.Accepted, len(edges))
+	}
+	return nil
+}
+
+// Similarity implements vos.SimilarityService.
+func (c *Client) Similarity(ctx context.Context, u, v vos.User) (vos.Estimate, error) {
+	q := url.Values{}
+	q.Set("u", strconv.FormatUint(uint64(u), 10))
+	q.Set("v", strconv.FormatUint(uint64(v), 10))
+	var est server.EstimateJSON
+	if err := c.getRetry(ctx, server.RouteSimilarity+"?"+q.Encode(), &est); err != nil {
+		return vos.Estimate{}, err
+	}
+	return est.Estimate(), nil
+}
+
+// TopK implements vos.SimilarityService. Top-K is a read, so it is retried
+// like the GETs despite travelling as a POST.
+func (c *Client) TopK(ctx context.Context, u vos.User, candidates []vos.User, n int) ([]vos.TopKResult, error) {
+	req := server.TopKRequest{User: uint64(u), N: n, Candidates: make([]uint64, len(candidates))}
+	for i, cand := range candidates {
+		req.Candidates[i] = uint64(cand)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var wire []server.TopKResultJSON
+	err = c.retry(ctx, func() error {
+		r, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+server.RouteTopK, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		r.Header.Set("Content-Type", server.ContentTypeJSON)
+		return c.do(r, &wire)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]vos.TopKResult, len(wire))
+	for i, w := range wire {
+		out[i] = vos.TopKResult{User: vos.User(w.User), Estimate: w.Estimate.Estimate()}
+	}
+	return out, nil
+}
+
+// Cardinality implements vos.SimilarityService.
+func (c *Client) Cardinality(ctx context.Context, u vos.User) (int64, error) {
+	var resp server.CardinalityResponse
+	if err := c.getRetry(ctx, server.RouteCardinality+"?user="+strconv.FormatUint(uint64(u), 10), &resp); err != nil {
+		return 0, err
+	}
+	return resp.Cardinality, nil
+}
+
+// Stats implements vos.SimilarityService.
+func (c *Client) Stats(ctx context.Context) (vos.Stats, error) {
+	var resp server.StatsResponse
+	if err := c.getRetry(ctx, server.RouteStats, &resp); err != nil {
+		return vos.Stats{}, err
+	}
+	return resp.Stats(), nil
+}
+
+// Checkpoint implements vos.Checkpointer: it asks the remote engine to
+// persist a checkpoint and returns the covered WAL position. Not retried
+// (not idempotent in cost), though re-running one is safe.
+func (c *Client) Checkpoint(ctx context.Context) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+server.RouteCheckpoint, nil)
+	if err != nil {
+		return 0, err
+	}
+	var resp server.CheckpointResponse
+	if err := c.do(req, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Position, nil
+}
+
+// Ready reports whether the server is in rotation (GET /v1/readyz == 200).
+func (c *Client) Ready(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+server.RouteReadyz, nil)
+	if err != nil {
+		return false
+	}
+	var h server.HealthResponse
+	return c.do(req, &h) == nil
+}
+
+// getRetry GETs path and decodes the JSON response into out, retrying per
+// the retry policy.
+func (c *Client) getRetry(ctx context.Context, path string, out any) error {
+	return c.retry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+		if err != nil {
+			return err
+		}
+		return c.do(req, out)
+	})
+}
+
+// retry runs attempt up to 1+MaxRetries times, backing off exponentially.
+// Only transient failures are retried: transport errors and 5xx envelopes.
+// Context errors and 4xx envelopes are returned immediately.
+func (c *Client) retry(ctx context.Context, attempt func() error) error {
+	backoff := c.opt.RetryBackoff
+	var err error
+	for try := 0; ; try++ {
+		err = attempt()
+		if err == nil || try >= c.opt.MaxRetries || !retryable(err) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// retryable reports whether err is worth a retry: transport-level failures
+// and server-side 5xx, but never context cancellation and never 4xx (the
+// request itself is wrong; resending it cannot help).
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *Error
+	if errors.As(err, &apiErr) {
+		return apiErr.Status >= 500 && apiErr.Status != http.StatusNotImplemented
+	}
+	return true // transport error
+}
+
+// do executes the request and decodes a 2xx JSON body into out (out may be
+// nil to discard), or decodes the error envelope into *Error.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.opt.HTTPClient.Do(req)
+	if err != nil {
+		// Surface the caller's context error undecorated so it is never
+		// mistaken for a retryable transport failure.
+		if ctxErr := req.Context().Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var env server.ErrorEnvelope
+		if json.Unmarshal(body, &env) == nil && env.Error.Code != "" {
+			return &Error{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+		}
+		return &Error{Status: resp.StatusCode, Code: server.CodeInternal,
+			Message: fmt.Sprintf("non-envelope response: %.200s", body)}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("client: decode %s response: %w", req.URL.Path, err)
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+// Command vosd is the VOS similarity daemon: a durable sharded engine
+// (vos.OpenEngine) behind the versioned /v1/ HTTP API (package server).
+// It is the deployment shape the module builds toward — ingest a fully
+// dynamic subscription stream over the network, answer similarity and
+// top-K queries during ingestion, survive restarts via WAL + checkpoints.
+//
+// Typical invocations:
+//
+//	vosd -listen :8080 -dir /var/lib/vosd                 # durable
+//	vosd -listen :8080                                    # memory-only
+//	vosd -dir /var/lib/vosd -sync off -checkpoint-interval 30s
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: readiness flips to 503,
+// in-flight requests finish (bounded by -drain-timeout), the listener
+// closes, and the engine shuts down — writing a final checkpoint when
+// durable, so the next start replays no WAL. The listen address is printed
+// on stdout once serving ("vosd listening on http://..."), which scripts
+// and the smoke test use with -listen 127.0.0.1:0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/vossketch/vos"
+	"github.com/vossketch/vos/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is main minus the exit code, so tests can drive the daemon.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("vosd", flag.ExitOnError)
+	var (
+		listen = fs.String("listen", "127.0.0.1:8080", "TCP listen address (use port 0 for an ephemeral port)")
+		dir    = fs.String("dir", "", "durability directory (WAL + checkpoints); empty runs memory-only")
+
+		memoryBits = fs.Uint64("memory-bits", 1<<22, "m, shared array size in bits")
+		sketchBits = fs.Int("sketch-bits", 4096, "k, virtual sketch size in bits")
+		seed       = fs.Uint64("seed", 1, "sketch seed (identical config required to merge or recover)")
+
+		shards     = fs.Int("shards", 0, "ingest shards (0 = GOMAXPROCS)")
+		batchSize  = fs.Int("batch-size", 0, "edges per shard batch (0 = default 256)")
+		queueSize  = fs.Int("queue-size", 0, "per-shard queue capacity in edges (0 = default 8192)")
+		linger     = fs.Duration("flush-interval", 0, "partial-batch linger interval (0 = default 50ms)")
+		maxLag     = fs.Uint64("snapshot-max-lag", 0, "query snapshot staleness budget in applied edges (0 = exact)")
+		cacheUsers = fs.Int("position-cache-users", 0, "position-table cache entries (0 = default 512, negative disables)")
+
+		syncMode   = fs.String("sync", "batch", `WAL fsync policy: "batch", "interval", or "off"`)
+		syncEveryN = fs.Int("sync-every-n", 0, `edges between fsyncs under -sync interval (0 = default 4096)`)
+		segBytes   = fs.Int64("segment-bytes", 0, "WAL segment rotation threshold (0 = default 64 MiB)")
+		ckptEvery  = fs.Duration("checkpoint-interval", 0, "automatic checkpoint period (0 disables; durable only)")
+
+		maxBatchBytes    = fs.Int64("max-batch-bytes", 0, "per-request ingest body cap (0 = default 8 MiB)")
+		maxInFlightBytes = fs.Int64("max-inflight-bytes", 0, "summed in-flight ingest bytes before backpressure (0 = default 64 MiB)")
+		drainTimeout     = fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
+		verbose          = fs.Bool("verbose", false, "log one line per request")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := vos.EngineConfig{
+		Sketch:             vos.Config{MemoryBits: *memoryBits, SketchBits: *sketchBits, Seed: *seed},
+		Shards:             *shards,
+		BatchSize:          *batchSize,
+		QueueSize:          *queueSize,
+		FlushInterval:      *linger,
+		SnapshotMaxLag:     *maxLag,
+		PositionCacheUsers: *cacheUsers,
+	}
+	var eng *vos.Engine
+	var err error
+	if *dir != "" {
+		d := vos.DurabilityConfig{SyncEveryN: *syncEveryN, SegmentBytes: *segBytes}
+		switch *syncMode {
+		case "batch":
+			d.Sync = vos.SyncEveryBatch
+		case "interval":
+			d.Sync = vos.SyncEveryN
+		case "off":
+			d.Sync = vos.SyncOff
+		default:
+			return fmt.Errorf("vosd: -sync must be batch, interval, or off (got %q)", *syncMode)
+		}
+		cfg.Durability = &d
+		eng, err = vos.OpenEngine(*dir, cfg)
+	} else {
+		eng, err = vos.NewEngine(cfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	opts := server.Options{MaxBatchBytes: *maxBatchBytes, MaxInFlightBytes: *maxInFlightBytes}
+	if *verbose {
+		opts.Logger = log.New(os.Stderr, "vosd: ", log.LstdFlags)
+	}
+	srv := server.New(vos.NewEngineService(eng), opts)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		eng.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stdout, "vosd listening on http://%s (shards=%d, durable=%v)\n",
+		ln.Addr(), eng.Shards(), *dir != "")
+
+	// Periodic checkpoints bound restart replay time; each one truncates
+	// the covered WAL prefix.
+	stopCkpt := make(chan struct{})
+	if *ckptEvery > 0 && *dir != "" {
+		go func() {
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-t.C:
+					if pos, err := eng.Checkpoint(); err != nil {
+						log.Printf("vosd: periodic checkpoint: %v", err)
+					} else if *verbose {
+						log.Printf("vosd: checkpoint at position %d", pos)
+					}
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		close(stopCkpt)
+		eng.Close()
+		return err
+	case s := <-sig:
+		fmt.Fprintf(stdout, "vosd: %v — draining\n", s)
+	}
+
+	// Graceful shutdown: out of rotation, finish in-flight work, close the
+	// listener, then close the engine (final checkpoint when durable).
+	close(stopCkpt)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("vosd: drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("vosd: http shutdown: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		return fmt.Errorf("vosd: engine close: %w", err)
+	}
+	fmt.Fprintln(stdout, "vosd: stopped")
+	return nil
+}

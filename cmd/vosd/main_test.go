@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/vossketch/vos"
+	"github.com/vossketch/vos/client"
+)
+
+// buildVosd compiles the daemon once per test binary into a temp dir.
+func buildVosd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "vosd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/vosd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startVosd launches the daemon on an ephemeral port over dataDir and
+// returns its base URL plus a stop function (SIGTERM + wait — the graceful
+// path, which writes a final checkpoint).
+func startVosd(t *testing.T, bin, dataDir string, extraArgs ...string) (string, func()) {
+	t.Helper()
+	args := append([]string{"-listen", "127.0.0.1:0", "-dir", dataDir}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The daemon prints "vosd listening on http://ADDR (...)" once serving.
+	sc := bufio.NewScanner(stdout)
+	base := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			base = strings.Fields(line[i+len("listening on "):])[0]
+			break
+		}
+	}
+	if base == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("vosd never reported its listen address (scan err: %v)", sc.Err())
+	}
+	go func() { // keep draining so the child never blocks on a full pipe
+		for sc.Scan() {
+		}
+	}()
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			cmd.Process.Kill()
+			t.Error("vosd did not exit within 30s of SIGTERM")
+		}
+	}
+	t.Cleanup(stop)
+	return base, stop
+}
+
+// TestVosdSmoke is the CI end-to-end gate: build the daemon, ingest a
+// dynamic stream through the client, checkpoint, restart the process, and
+// verify the recovered daemon answers bit-identically to the pre-restart
+// one.
+func TestVosdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon binary")
+	}
+	bin := buildVosd(t)
+	dataDir := t.TempDir()
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancelCtx()
+
+	base, stop := startVosd(t, bin, dataDir)
+	cl := client.New(base, client.Options{BatchSize: 128})
+
+	// Two overlapping users plus churn, including unsubscriptions.
+	var edges []vos.Edge
+	for i := 0; i < 300; i++ {
+		edges = append(edges, vos.Edge{User: 1, Item: vos.Item(i), Op: vos.Insert})
+		edges = append(edges, vos.Edge{User: 2, Item: vos.Item(i + 150), Op: vos.Insert})
+	}
+	for u := vos.User(10); u < 40; u++ {
+		for i := 0; i < 15; i++ {
+			edges = append(edges, vos.Edge{User: u, Item: vos.Item(int(u)*1000 + i), Op: vos.Insert})
+		}
+	}
+	if err := cl.Ingest(ctx, edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint deletes live only in the WAL suffix until shutdown.
+	var dels []vos.Edge
+	for i := 150; i < 200; i++ {
+		dels = append(dels, vos.Edge{User: 1, Item: vos.Item(i), Op: vos.Delete})
+	}
+	if err := cl.Ingest(ctx, dels); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := cl.Similarity(ctx, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeCard, err := cl.Cardinality(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beforeCard != 250 {
+		t.Fatalf("cardinality(1) = %d, want 250", beforeCard)
+	}
+	candidates := []vos.User{2, 10, 11, 12, 13, 14}
+	beforeTop, err := cl.TopK(ctx, 1, candidates, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(beforeTop) != 3 || beforeTop[0].User != 2 {
+		t.Fatalf("topk before restart: %+v (want user 2 first)", beforeTop)
+	}
+	cl.Close()
+	stop()
+
+	// Restart over the same directory: recovery = checkpoint + WAL suffix.
+	base2, stop2 := startVosd(t, bin, dataDir)
+	cl2 := client.New(base2, client.Options{})
+	defer cl2.Close()
+	after, err := cl2.Similarity(ctx, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatalf("recovered similarity %+v != pre-restart %+v", after, before)
+	}
+	afterCard, err := cl2.Cardinality(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterCard != beforeCard {
+		t.Fatalf("recovered cardinality %d != pre-restart %d", afterCard, beforeCard)
+	}
+	afterTop, err := cl2.TopK(ctx, 1, candidates, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(afterTop) != fmt.Sprint(beforeTop) {
+		t.Fatalf("recovered topk %+v != pre-restart %+v", afterTop, beforeTop)
+	}
+	stop2()
+}
+
+// TestVosdBadFlags: a bad -sync value fails fast instead of starting a
+// daemon with silent defaults.
+func TestVosdBadFlags(t *testing.T) {
+	if err := run([]string{"-dir", t.TempDir(), "-sync", "sometimes"}, &strings.Builder{}); err == nil {
+		t.Fatal("bad -sync value accepted")
+	}
+}

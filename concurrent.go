@@ -1,6 +1,7 @@
 package vos
 
 import (
+	"context"
 	"sync"
 )
 
@@ -39,6 +40,27 @@ func (c *ConcurrentSketch) Query(u, v User) Estimate {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.sk.Query(u, v)
+}
+
+// TopK returns the n candidates most similar to u, best first, under the
+// read lock (see Sketch.TopK).
+func (c *ConcurrentSketch) TopK(u User, candidates []User, n int) []TopKResult {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sk.TopK(u, candidates, n)
+}
+
+// TopKContext is TopK with cooperative cancellation: the candidate loop
+// polls ctx and aborts with ctx.Err() when it is cancelled. Note the read
+// lock is held for the duration, so a cancelled scan also releases the
+// lock early.
+func (c *ConcurrentSketch) TopKContext(ctx context.Context, u User, candidates []User, n int) ([]TopKResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sk.TopKRecoveredContext(ctx, c.sk.RecoverSketch(u), candidates, n)
 }
 
 // Cardinality returns the tracked n_u.

@@ -1,361 +1,144 @@
-// A similarity query service on the sharded engine: N ingest shards
-// absorb the event stream while an HTTP API serves similarity queries
-// from the engine's exactly merged snapshot — the deployment shape the
-// paper's O(1)-update / O(k)-query split is designed for, scaled past one
-// core by vos.Engine.
+// A similarity query service on the sharded engine, now a thin wrapper
+// over the module's real serving stack: vos.OpenEngine (durable recovery)
+// + vos.NewEngineService + package server (the versioned /v1/ HTTP API)
+// + package client (the Go client) — the deployment shape cmd/vosd runs
+// in production form.
 //
-// Endpoints:
-//
-//	POST /event?user=U&item=I&op=+|-   ingest one subscription event
-//	GET  /similarity?u=U&v=V           estimate s_uv and Jaccard
-//	POST /topk                         rank candidates by similarity to a user
-//	GET  /stats                        merged sketch state (β, memory, users)
-//	GET  /shards                       per-shard ingest counters and load
-//	POST /checkpoint                   persist the merged sketch + WAL position
-//
-// /topk takes a JSON body {"user": U, "candidates": [...], "n": N} and
-// returns the n candidates most similar to the user, best first, served by
-// the engine's materialized top-K path: the probe's virtual sketch is
-// recovered once, candidates stream against the packed bits in parallel,
-// and hot users' position tables come from the engine's shared cache.
-//
-// The engine is durable (vos.OpenEngine): accepted events are written to a
-// WAL before they are acknowledged, POST /checkpoint persists the merged
-// sketch and truncates the covered WAL prefix, and startup is restart-safe
-// — it recovers checkpoint + WAL suffix from the data directory, so a
-// crashed or restarted query server resumes without re-consuming the
-// stream from origin.
-//
-// The similarity handler flushes the engine first, trading a little query
-// latency for read-your-writes consistency — the right default for a demo
-// and for low-write services; high-write deployments would skip the flush
-// and serve from a bounded-staleness snapshot (EngineConfig.SnapshotMaxLag).
-//
-// The program starts the server on a local port, drives a simulated
-// workload against it over HTTP, checkpoints, hard-stops the server
-// mid-stream (simulating a crash), restarts it from the same directory,
-// and shows the recovered answers match — so `go run
-// ./examples/similarityserver` is self-contained and exits.
+// The program starts the /v1/ API on a local port, drives a simulated
+// workload through the client (ingest, top-K, checkpoint, unsubscribes),
+// hard-stops the server mid-stream without closing the engine (simulating
+// a crash), restarts it from the same durability directory, and shows the
+// recovered answers are identical — so `go run ./examples/similarityserver`
+// is self-contained and exits. See the README's "Serving" section for the
+// endpoint table.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 	"net"
 	"net/http"
-	"net/url"
 	"os"
-	"strings"
-	"time"
 
 	"github.com/vossketch/vos"
+	"github.com/vossketch/vos/client"
+	"github.com/vossketch/vos/server"
 )
 
-// server wraps the sharded engine with the HTTP API.
-type server struct {
-	engine *vos.Engine
-}
-
-func (s *server) handleEvent(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	q := r.URL.Query()
-	u, errU := parseID(q.Get("user"))
-	i, errI := parseID(q.Get("item"))
-	if errU != nil || errI != nil {
-		http.Error(w, "user and item must be unsigned integers", http.StatusBadRequest)
-		return
-	}
-	var op vos.Op
-	switch q.Get("op") {
-	case "+", "":
-		op = vos.Insert
-	case "-":
-		op = vos.Delete
-	default:
-		http.Error(w, "op must be + or -", http.StatusBadRequest)
-		return
-	}
-	if err := s.engine.Process(vos.Edge{User: vos.User(u), Item: vos.Item(i), Op: op}); err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
-	}
-	w.WriteHeader(http.StatusNoContent)
-}
-
-func (s *server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	u, errU := parseID(q.Get("u"))
-	v, errV := parseID(q.Get("v"))
-	if errU != nil || errV != nil {
-		http.Error(w, "u and v must be unsigned integers", http.StatusBadRequest)
-		return
-	}
-	// Read-your-writes: apply everything accepted so far, then answer
-	// from the exact merged snapshot.
-	s.engine.Flush()
-	est := s.engine.Query(vos.User(u), vos.User(v))
-	writeJSON(w, map[string]any{
-		"common_items":  est.CommonClamped,
-		"jaccard":       est.Jaccard,
-		"cardinality_u": est.CardinalityU,
-		"cardinality_v": est.CardinalityV,
-		"saturated":     est.Saturated,
-	})
-}
-
-// topkRequest is the POST /topk body.
-type topkRequest struct {
-	User       uint64   `json:"user"`
-	Candidates []uint64 `json:"candidates"`
-	N          int      `json:"n"`
-}
-
-func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	var req topkRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	if req.N <= 0 || len(req.Candidates) == 0 {
-		http.Error(w, "need n > 0 and a non-empty candidates list", http.StatusBadRequest)
-		return
-	}
-	candidates := make([]vos.User, len(req.Candidates))
-	for i, c := range req.Candidates {
-		candidates[i] = vos.User(c)
-	}
-	s.engine.Flush() // read-your-writes, like /similarity
-	top := s.engine.TopK(vos.User(req.User), candidates, req.N)
-	out := make([]map[string]any, len(top))
-	for i, res := range top {
-		out[i] = map[string]any{
-			"user":         uint64(res.User),
-			"jaccard":      res.Estimate.Jaccard,
-			"common_items": res.Estimate.CommonClamped,
-			"saturated":    res.Estimate.Saturated,
-		}
-	}
-	writeJSON(w, out)
-}
-
-func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	pos, err := s.engine.Checkpoint()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writeJSON(w, map[string]any{"position": pos})
-}
-
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := s.engine.Stats()
-	writeJSON(w, map[string]any{
-		"memory_bits": st.MemoryBits,
-		"sketch_bits": st.SketchBits,
-		"beta":        st.Beta,
-		"users":       st.Users,
-		"shards":      s.engine.Shards(),
-	})
-}
-
-func (s *server) handleShards(w http.ResponseWriter, _ *http.Request) {
-	stats := s.engine.ShardStats()
-	out := make([]map[string]any, len(stats))
-	for i, st := range stats {
-		out[i] = map[string]any{
-			"shard":       st.Shard,
-			"enqueued":    st.Enqueued,
-			"processed":   st.Processed,
-			"backlog":     st.Backlog(),
-			"beta":        st.Beta,
-			"users":       st.Users,
-			"edges_per_s": st.EdgesPerSec,
-		}
-	}
-	writeJSON(w, out)
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encode: %v", err)
-	}
-}
-
-func parseID(s string) (uint64, error) {
-	var x uint64
-	_, err := fmt.Sscanf(s, "%d", &x)
-	return x, err
-}
-
-// serve starts the HTTP API for a durable engine opened from dir and
-// returns the base URL plus a stop function — the restart-safe startup
-// path: every launch goes through vos.OpenEngine, which recovers whatever
-// checkpoint and WAL suffix the directory holds.
+// serve opens a durable engine from dir and exposes it at /v1/ — the whole
+// restart-safe server is these few lines on top of the server package.
 func serve(dir string, cfg vos.EngineConfig) (base string, stop func(closeEngine bool)) {
 	eng, err := vos.OpenEngine(dir, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv := &server{engine: eng}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/event", srv.handleEvent)
-	mux.HandleFunc("/similarity", srv.handleSimilarity)
-	mux.HandleFunc("/topk", srv.handleTopK)
-	mux.HandleFunc("/stats", srv.handleStats)
-	mux.HandleFunc("/shards", srv.handleShards)
-	mux.HandleFunc("/checkpoint", srv.handleCheckpoint)
-
+	check(err)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	httpSrv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	check(err)
+	httpSrv := &http.Server{Handler: server.New(vos.NewEngineService(eng), server.Options{})}
 	go func() {
 		if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
 			log.Fatal(err)
 		}
 	}()
 	return "http://" + ln.Addr().String(), func(closeEngine bool) {
-		if err := httpSrv.Close(); err != nil {
-			log.Fatal(err)
-		}
+		check(httpSrv.Close())
 		if closeEngine {
-			if err := eng.Close(); err != nil {
-				log.Fatal(err)
-			}
+			check(eng.Close())
 		}
 	}
 }
 
-func main() {
-	dir, err := os.MkdirTemp("", "similarityserver-*")
+func check(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+func main() {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "similarityserver-*")
+	check(err)
 	defer os.RemoveAll(dir)
 	cfg := vos.EngineConfig{
-		Sketch: vos.Config{
-			MemoryBits: 1 << 22,
-			SketchBits: 4096,
-			Seed:       3,
-		},
+		Sketch: vos.Config{MemoryBits: 1 << 22, SketchBits: 4096, Seed: 3},
 		Shards: 4,
 		// The crash below is simulated in-process (the first engine is
-		// abandoned, not killed), so it cannot release the directory
-		// flock a real process death would; a production deployment
-		// keeps the lock enabled (the default).
+		// abandoned, not killed), so it cannot release the directory flock
+		// a real process death would; cmd/vosd keeps the lock enabled.
 		Durability: &vos.DurabilityConfig{DisableLock: true},
 	}
 
 	base, stop := serve(dir, cfg)
-	fmt.Printf("similarity service listening on %s (4 ingest shards, WAL in %s)\n\n", base, dir)
-
-	client := &http.Client{Timeout: 5 * time.Second}
-	post := func(path string) string {
-		resp, err := client.Post(base+path, "", nil)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer resp.Body.Close()
-		var buf [1024]byte
-		n, _ := resp.Body.Read(buf[:])
-		return string(buf[:n])
-	}
-	postJSON := func(path, body string) string {
-		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer resp.Body.Close()
-		var buf [4096]byte
-		n, _ := resp.Body.Read(buf[:])
-		return string(buf[:n])
-	}
-	event := func(user, item uint64, op string) {
-		post(fmt.Sprintf("/event?user=%d&item=%d&op=%s", user, item, url.QueryEscape(op)))
-	}
-	get := func(path string) string {
-		resp, err := client.Get(base + path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer resp.Body.Close()
-		var buf [1024]byte
-		n, _ := resp.Body.Read(buf[:])
-		return string(buf[:n])
-	}
+	fmt.Printf("similarity service at %s/v1/ (4 ingest shards, WAL in %s)\n\n", base, dir)
+	cl := client.New(base, client.Options{BatchSize: 512})
 
 	// Drive a workload over the wire: two overlapping users plus noise.
-	rng := rand.New(rand.NewSource(4))
-	for i := uint64(0); i < 300; i++ {
-		event(1, i, "+")
+	var edges []vos.Edge
+	for i := 0; i < 300; i++ {
+		edges = append(edges, vos.Edge{User: 1, Item: vos.Item(i), Op: vos.Insert})
+		edges = append(edges, vos.Edge{User: 2, Item: vos.Item(i + 150), Op: vos.Insert})
 	}
-	for i := uint64(150); i < 450; i++ {
-		event(2, i, "+")
+	for u := vos.User(100); u < 150; u++ {
+		for i := 0; i < 40; i++ {
+			edges = append(edges, vos.Edge{User: u, Item: vos.Item(int(u)*1000 + i), Op: vos.Insert})
+		}
 	}
-	for i := uint64(0); i < 2000; i++ { // background users
-		event(100+i%50, rng.Uint64()%100000, "+")
-	}
-	fmt.Println("ingested 2600 events over HTTP (300 + 300 subscriptions, noise)")
+	check(cl.Ingest(ctx, edges))
+	check(cl.Flush(ctx))
+	fmt.Printf("ingested %d events through the client (binary batches of 512)\n", len(edges))
 
-	// Rank user 2 and the background users against user 1: the engine
-	// recovers user 1's sketch once and streams the candidates against the
-	// packed bits, so only user 2's planted 150-item overlap should rank.
-	var cands strings.Builder
-	cands.WriteString("2")
-	for u := 100; u < 150; u++ {
-		fmt.Fprintf(&cands, ",%d", u)
+	// Rank user 2 and the background users against user 1: only user 2's
+	// planted 150-item overlap should score.
+	candidates := []vos.User{2}
+	for u := vos.User(100); u < 150; u++ {
+		candidates = append(candidates, u)
 	}
-	fmt.Println("\nPOST /topk (user 1 vs user 2 + 50 background users)")
-	fmt.Println("  " + postJSON("/topk", fmt.Sprintf(`{"user":1,"candidates":[%s],"n":3}`, cands.String())))
-
-	// Persist the merged sketch; the covered WAL prefix is truncated.
-	fmt.Println("\nPOST /checkpoint")
-	fmt.Println("  " + post("/checkpoint"))
-
-	// More events after the checkpoint: user 1 unsubscribes 50 shared
-	// items. These live only in the WAL suffix.
-	for i := uint64(150); i < 200; i++ {
-		event(1, i, "-")
+	top, err := cl.TopK(ctx, 1, candidates, 3)
+	check(err)
+	fmt.Println("\nPOST /v1/topk (user 1 vs user 2 + 50 background users)")
+	for _, r := range top {
+		fmt.Printf("  user %d: jaccard %.4f (common ≈ %.1f)\n", r.User, r.Estimate.Jaccard, r.Estimate.CommonClamped)
 	}
-	fmt.Println("ingested 50 post-checkpoint unsubscriptions")
-	fmt.Println("\nGET /similarity?u=1&v=2")
-	before := get("/similarity?u=1&v=2")
-	fmt.Println("  " + before)
+
+	pos, err := cl.Checkpoint(ctx)
+	check(err)
+	fmt.Printf("\nPOST /v1/checkpoint → position %d (WAL prefix truncated)\n", pos)
+
+	// Post-checkpoint events live only in the WAL suffix: user 1 drops 50
+	// shared items.
+	var dels []vos.Edge
+	for i := 150; i < 200; i++ {
+		dels = append(dels, vos.Edge{User: 1, Item: vos.Item(i), Op: vos.Delete})
+	}
+	check(cl.Ingest(ctx, dels))
+	check(cl.Flush(ctx))
+	before, err := cl.Similarity(ctx, 1, 2)
+	check(err)
+	fmt.Printf("\nGET /v1/similarity?u=1&v=2 after 50 unsubscriptions\n  jaccard %.4f, common ≈ %.1f\n",
+		before.Jaccard, before.CommonClamped)
 	fmt.Println("  (true common items: 100, true Jaccard: 100/450 ≈ 0.222)")
 
 	// Hard-stop the server mid-stream — no graceful engine Close — then
 	// restart from the same directory. Recovery loads the checkpoint and
 	// replays the 50-event WAL suffix.
 	fmt.Println("\n-- simulated crash: stopping server without closing the engine --")
+	cl.Close()
 	stop(false)
 	base, stop = serve(dir, cfg)
+	cl = client.New(base, client.Options{})
+	defer cl.Close()
 	fmt.Printf("-- restarted from %s --\n\n", dir)
 
-	fmt.Println("GET /similarity?u=1&v=2 (recovered)")
-	after := get("/similarity?u=1&v=2")
-	fmt.Println("  " + after)
+	after, err := cl.Similarity(ctx, 1, 2)
+	check(err)
+	fmt.Printf("GET /v1/similarity?u=1&v=2 (recovered): jaccard %.4f\n", after.Jaccard)
 	if after == before {
-		fmt.Println("  recovered answer is identical to the pre-crash answer")
+		fmt.Println("  recovered estimate is bit-identical to the pre-crash estimate")
 	} else {
-		fmt.Println("  MISMATCH with pre-crash answer:", before)
+		fmt.Printf("  MISMATCH with pre-crash estimate: %+v\n", before)
 	}
-	fmt.Println("GET /stats")
-	fmt.Println("  " + get("/stats"))
+	st, err := cl.Stats(ctx)
+	check(err)
+	fmt.Printf("GET /v1/stats: β=%.5f, %d users, %d KiB\n", st.Beta, st.Users, st.MemoryBytes>>10)
 
 	stop(true)
 	fmt.Println("\nserver stopped (final checkpoint written on close)")

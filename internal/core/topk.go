@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"github.com/vossketch/vos/internal/stream"
@@ -112,9 +113,27 @@ func (v *VOS) TopK(u stream.User, candidates []stream.User, n int) []TopKResult 
 // the probe once and hands each goroutine a candidate range. r.User() is
 // skipped if present among the candidates.
 func (v *VOS) TopKRecovered(r *Recovered, candidates []stream.User, n int) []TopKResult {
+	out, _ := v.TopKRecoveredContext(context.Background(), r, candidates, n)
+	return out
+}
+
+// cancelCheckStride is how many candidates TopKRecoveredContext streams
+// between context polls. A poll is one channel select; at the paper's k a
+// single candidate comparison costs microseconds, so a stride of 256 keeps
+// the poll overhead unmeasurable while bounding the post-cancellation
+// latency to a few hundred comparisons per worker.
+const cancelCheckStride = 256
+
+// TopKRecoveredContext is TopKRecovered with cooperative cancellation: the
+// candidate loop polls ctx every cancelCheckStride candidates and returns
+// ctx.Err() early when the context is cancelled, so a caller can abort a
+// long scan (the engine's parallel top-K plumbs each worker's range through
+// here). A context that is never cancelled adds no per-candidate work —
+// context.Background's Done channel is nil and the poll is skipped.
+func (v *VOS) TopKRecoveredContext(ctx context.Context, r *Recovered, candidates []stream.User, n int) ([]TopKResult, error) {
 	// Clamp before the heap pre-allocates capacity n: the result can never
 	// exceed the candidate count, and callers pass n straight from
-	// untrusted request bodies (examples/similarityserver).
+	// untrusted request bodies (the /v1/topk handler).
 	if n > len(candidates) {
 		n = len(candidates)
 	}
@@ -122,11 +141,19 @@ func (v *VOS) TopKRecovered(r *Recovered, candidates []stream.User, n int) []Top
 		n = 0
 	}
 	h := newTopHeap(n)
-	for _, w := range candidates {
+	done := ctx.Done()
+	for i, w := range candidates {
+		if done != nil && i%cancelCheckStride == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		if w == r.user {
 			continue
 		}
 		h.offer(TopKResult{User: w, Estimate: v.QueryRecovered(r, w)})
 	}
-	return h.sorted()
+	return h.sorted(), nil
 }

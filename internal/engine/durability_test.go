@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -176,8 +177,8 @@ func TestCheckpointThenCrashReplaysOnlySuffix(t *testing.T) {
 	defer e.Close()
 	// A recovered engine answers from base+shards; the local fast path
 	// would miss base parity bits and must disable itself.
-	if _, ok := e.QueryLocal(1, 2); ok {
-		t.Fatal("QueryLocal answered on a checkpoint-recovered engine")
+	if _, err := e.QueryLocal(1, 2); !errors.Is(err, ErrQueryUnavailable) {
+		t.Fatalf("QueryLocal on a checkpoint-recovered engine: want ErrQueryUnavailable, got %v", err)
 	}
 	if err := e.ProcessBatch(edges[2*third:]); err != nil {
 		t.Fatal(err)

@@ -25,6 +25,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -41,8 +42,24 @@ import (
 	"github.com/vossketch/vos/internal/wal"
 )
 
-// ErrClosed is returned by Process/ProcessBatch after Close.
+// ErrClosed is returned by Process/ProcessBatch after Close, and by the
+// context-aware query methods (QueryContext, TopKContext, …) once Close has
+// begun — a closed engine is out of the serving rotation, so queries racing
+// shutdown get a typed error instead of an answer that may predate the
+// final flush.
 var ErrClosed = errors.New("engine: closed")
+
+// ErrQueryUnavailable is returned by query paths that cannot answer in the
+// engine's current state — today, QueryLocal on a checkpoint-recovered
+// engine, whose pre-checkpoint parity lives in the frozen base sketch
+// rather than in any shard. Callers should fall back to the merged-snapshot
+// path (Query/QueryContext).
+var ErrQueryUnavailable = errors.New("engine: query unavailable")
+
+// ErrNotCoResident is returned by QueryLocal when the two users live on
+// different shards, so no single shard holds both users' parity state.
+// Callers should fall back to Query.
+var ErrNotCoResident = errors.New("engine: users are not co-resident on one shard")
 
 // Config parameterises an Engine. The zero value of every field except
 // Sketch selects a sensible default.
@@ -158,6 +175,13 @@ type Engine struct {
 	shards []*shard
 	wg     sync.WaitGroup
 	closed atomic.Bool
+	// lifeMu orders producer-side channel sends against Close: Flush and
+	// the linger ticker hold RLock across "check closed, then hand batches
+	// to shard channels", and Close holds Lock while it drains the pending
+	// buffers and closes those channels. Without it, a Flush racing Close
+	// could send on a closed channel (panic) or park a batch behind an
+	// exited worker and spin forever waiting for it to apply.
+	lifeMu sync.RWMutex
 	stop   chan struct{} // stops the linger ticker
 	start  time.Time
 
@@ -244,6 +268,10 @@ func MustNew(cfg Config) *Engine {
 // Config returns the resolved engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// Closed reports whether Close has begun. Once true, writes and the
+// context-aware query methods return ErrClosed.
+func (e *Engine) Closed() bool { return e.closed.Load() }
+
 // Shards returns N, the number of sketch shards.
 func (e *Engine) Shards() int { return len(e.shards) }
 
@@ -278,9 +306,13 @@ func (e *Engine) linger() {
 		case <-e.stop:
 			return
 		case <-t.C:
-			for _, s := range e.shards {
-				e.kickPending(s)
+			e.lifeMu.RLock()
+			if !e.closed.Load() {
+				for _, s := range e.shards {
+					e.kickPending(s)
+				}
 			}
+			e.lifeMu.RUnlock()
 		}
 	}
 }
@@ -331,6 +363,10 @@ func (s *shard) add(edges []stream.Edge, batchSize int) {
 // durable engine the edge is WAL-appended — durable per the sync policy —
 // before Process returns; an append error means the edge was not accepted.
 func (e *Engine) Process(ed stream.Edge) error {
+	// The read lock makes "check closed, append, hand to shards" atomic
+	// with respect to Close's channel teardown — see lifeMu.
+	e.lifeMu.RLock()
+	defer e.lifeMu.RUnlock()
 	if e.closed.Load() {
 		return ErrClosed
 	}
@@ -352,6 +388,8 @@ func (e *Engine) Process(ed stream.Edge) error {
 // also the efficient one, since the whole slice becomes one WAL record
 // (and, under SyncEveryBatch, one fsync).
 func (e *Engine) ProcessBatch(edges []stream.Edge) error {
+	e.lifeMu.RLock() // see Process
+	defer e.lifeMu.RUnlock()
 	if e.closed.Load() {
 		return ErrClosed
 	}
@@ -394,7 +432,14 @@ func (e *Engine) route(edges []stream.Edge) {
 
 // Flush blocks until every edge accepted before the call has been applied
 // to its shard sketch. After Flush, Query reflects all of them exactly.
+// Flush racing Close is safe: once Close has begun, Flush returns
+// immediately (Close itself drains every buffered edge).
 func (e *Engine) Flush() {
+	e.lifeMu.RLock()
+	defer e.lifeMu.RUnlock()
+	if e.closed.Load() {
+		return
+	}
 	targets := make([]uint64, len(e.shards))
 	for i, s := range e.shards {
 		targets[i] = s.enqueued.Load()
@@ -430,6 +475,12 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	close(e.stop)
+	// The exclusive lock waits out any Flush or linger kick that passed
+	// its closed check before the CAS above, so no sender can race the
+	// channel close below. Released before checkpointLocked, whose Flush
+	// call must be able to take the read lock (it sees closed and returns;
+	// the workers have already drained everything by then).
+	e.lifeMu.Lock()
 	for _, s := range e.shards {
 		s.pendMu.Lock()
 		out := s.pend
@@ -440,6 +491,7 @@ func (e *Engine) Close() error {
 		}
 		close(s.ch)
 	}
+	e.lifeMu.Unlock()
 	e.wg.Wait()
 	if e.log != nil {
 		e.walMu.Lock()
@@ -527,6 +579,28 @@ func (e *Engine) QueryMany(u stream.User, candidates []stream.User) []core.Estim
 // global top-n result is inside its worker's top n, and the merge sorts
 // with the same total order (core.RankBefore) the workers used.
 func (e *Engine) TopK(u stream.User, candidates []stream.User, n int) []core.TopKResult {
+	out, _ := e.topK(context.Background(), u, candidates, n)
+	return out
+}
+
+// TopKContext is TopK with lifecycle and cancellation checks: it returns
+// ErrClosed once Close has begun, and ctx is plumbed into every worker's
+// candidate loop (core.TopKRecoveredContext), so cancelling the context
+// actually aborts an in-flight fan-out instead of letting it run to
+// completion — the contract vos.SimilarityService and the /v1/topk handler
+// rely on for request-scoped deadlines.
+func (e *Engine) TopKContext(ctx context.Context, u stream.User, candidates []stream.User, n int) ([]core.TopKResult, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.topK(ctx, u, candidates, n)
+}
+
+// topK is the shared body of TopK and TopKContext: snapshot, fan out, merge.
+func (e *Engine) topK(ctx context.Context, u stream.User, candidates []stream.User, n int) ([]core.TopKResult, error) {
 	snap := e.snapshot()
 	// Below ~2 full ranges the goroutine and merge overhead outweighs the
 	// fan-out; answer sequentially.
@@ -536,10 +610,11 @@ func (e *Engine) TopK(u stream.User, candidates []stream.User, n int) []core.Top
 		workers = maxW
 	}
 	if workers <= 1 || n <= 0 {
-		return snap.TopK(u, candidates, n)
+		return snap.TopKRecoveredContext(ctx, snap.RecoverSketch(u), candidates, n)
 	}
 	r := snap.RecoverSketch(u)
 	tops := make([][]core.TopKResult, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	// Exact partition: worker w gets [w*len/workers, (w+1)*len/workers).
 	// Unlike ceil-chunking this never produces lo > hi, whatever the
@@ -550,10 +625,15 @@ func (e *Engine) TopK(u stream.User, candidates []stream.User, n int) []core.Top
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			tops[w] = snap.TopKRecovered(r, candidates[lo:hi], n)
+			tops[w], errs[w] = snap.TopKRecoveredContext(ctx, r, candidates[lo:hi], n)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	var all []core.TopKResult
 	for _, t := range tops {
 		all = append(all, t...)
@@ -562,7 +642,7 @@ func (e *Engine) TopK(u stream.User, candidates []stream.User, n int) []core.Top
 	if n > len(all) {
 		n = len(all)
 	}
-	return all[:n]
+	return all[:n], nil
 }
 
 // PositionCacheStats reports the shared position cache's hit/miss/eviction
@@ -576,8 +656,10 @@ func (e *Engine) PositionCacheStats() (st poscache.Stats, ok bool) {
 
 // QueryLocal answers a pair query from the owning shard alone when both
 // users co-reside, skipping the global merge: one RLock on one shard, no
-// cross-shard work. It reports false when the users live on different
-// shards (fall back to Query).
+// cross-shard work. It returns ErrNotCoResident when the users live on
+// different shards (fall back to Query), ErrQueryUnavailable on a
+// checkpoint-recovered engine, and ErrClosed after Close — typed errors
+// instead of the zero estimates these states used to produce silently.
 //
 // The shard holds all of both users' parity state, so the estimate is
 // valid — and its contamination term β reflects only the shard's own
@@ -586,19 +668,59 @@ func (e *Engine) PositionCacheStats() (st poscache.Stats, ok bool) {
 //
 // On an engine recovered from a checkpoint the pre-checkpoint parity state
 // lives in the frozen base sketch, not in any shard, so the local answer
-// would be wrong; QueryLocal then always reports false.
-func (e *Engine) QueryLocal(u, v stream.User) (core.Estimate, bool) {
+// would be wrong; QueryLocal then always returns ErrQueryUnavailable.
+func (e *Engine) QueryLocal(u, v stream.User) (core.Estimate, error) {
+	if e.closed.Load() {
+		return core.Estimate{}, ErrClosed
+	}
 	if e.base != nil {
-		return core.Estimate{}, false
+		return core.Estimate{}, fmt.Errorf("%w: pre-checkpoint state lives in the recovery base, not in any shard", ErrQueryUnavailable)
 	}
 	su, sv := e.ShardOf(u), e.ShardOf(v)
 	if su != sv {
-		return core.Estimate{}, false
+		return core.Estimate{}, fmt.Errorf("%w: user %d is on shard %d, user %d on shard %d", ErrNotCoResident, u, su, v, sv)
 	}
 	s := e.shards[su]
 	s.skMu.RLock()
 	defer s.skMu.RUnlock()
-	return s.sk.Query(u, v), true
+	return s.sk.Query(u, v), nil
+}
+
+// QueryContext is Query with lifecycle and cancellation checks: ErrClosed
+// once Close has begun, ctx.Err() when the context is already cancelled,
+// otherwise the merged-snapshot answer. The snapshot query itself is a
+// single O(k) comparison, so no mid-query cancellation point is needed —
+// TopKContext is where cooperative cancellation matters.
+func (e *Engine) QueryContext(ctx context.Context, u, v stream.User) (core.Estimate, error) {
+	if e.closed.Load() {
+		return core.Estimate{}, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return core.Estimate{}, err
+	}
+	return e.snapshot().Query(u, v), nil
+}
+
+// CardinalityContext is Cardinality with lifecycle and cancellation checks.
+func (e *Engine) CardinalityContext(ctx context.Context, u stream.User) (int64, error) {
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return e.Cardinality(u), nil
+}
+
+// StatsContext is Stats with lifecycle and cancellation checks.
+func (e *Engine) StatsContext(ctx context.Context) (core.Stats, error) {
+	if e.closed.Load() {
+		return core.Stats{}, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return core.Stats{}, err
+	}
+	return e.Stats(), nil
 }
 
 // Cardinality returns n_u over applied edges. A user's post-checkpoint

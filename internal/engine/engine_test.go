@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -146,15 +147,15 @@ func TestQueryLocal(t *testing.T) {
 	}
 	e.Flush()
 
-	local, ok := e.QueryLocal(u, v)
-	if !ok {
-		t.Fatal("QueryLocal reported different shards for co-resident users")
+	local, err := e.QueryLocal(u, v)
+	if err != nil {
+		t.Fatalf("QueryLocal on co-resident users: %v", err)
 	}
 	if global := e.Query(u, v); local != global {
 		t.Fatalf("single-shard stream: local %+v != global %+v", local, global)
 	}
-	if _, ok := e.QueryLocal(u, w); ok {
-		t.Fatal("QueryLocal claimed co-residence across shards")
+	if _, err := e.QueryLocal(u, w); !errors.Is(err, ErrNotCoResident) {
+		t.Fatalf("QueryLocal across shards: want ErrNotCoResident, got %v", err)
 	}
 }
 
@@ -369,5 +370,49 @@ func TestBatchCarving(t *testing.T) {
 func TestBadConfig(t *testing.T) {
 	if _, err := New(Config{Sketch: core.Config{MemoryBits: 0, SketchBits: 8}}); err == nil {
 		t.Fatal("degenerate sketch config accepted")
+	}
+}
+
+// TestFlushRacingClose pins the lifecycle fix: Flush running concurrently
+// with Close must neither panic (send on a closed shard channel) nor hang
+// (batch parked behind an exited worker) — once Close has begun, Flush
+// returns and Close's own drain applies everything buffered. Several
+// rounds because the window is a few instructions wide.
+func TestFlushRacingClose(t *testing.T) {
+	for round := 0; round < 25; round++ {
+		e := MustNew(Config{Sketch: testConfig(), Shards: 2, BatchSize: 64, FlushInterval: time.Millisecond})
+		// Leave partial batches pending so Flush and Close both have
+		// hand-over work to race on.
+		for i := 0; i < 100; i++ {
+			if err := e.Process(stream.Edge{User: stream.User(i % 7), Item: stream.Item(i), Op: stream.Insert}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for f := 0; f < 3; f++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				e.Flush()
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := e.Close(); err != nil {
+				t.Error(err)
+			}
+		}()
+		close(start)
+		wg.Wait()
+		// Close drained everything regardless of how the race resolved.
+		for _, s := range e.shards {
+			if got, want := s.processed.Load(), s.enqueued.Load(); got != want {
+				t.Fatalf("round %d: shard drained %d of %d edges after Close", round, got, want)
+			}
+		}
 	}
 }

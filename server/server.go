@@ -1,0 +1,591 @@
+// Package server exposes a vos.SimilarityService over a versioned HTTP+JSON
+// API — the network front door of the module. It is deliberately thin: all
+// sketch semantics live behind the service interface, the server adds the
+// wire concerns a production deployment needs and nothing else:
+//
+//   - versioned routes under /v1/ (see Routes) with a uniform typed error
+//     envelope {"error":{"code":...,"message":...}},
+//   - single-event and batch ingest in three formats (JSON, NDJSON, and
+//     the VOSSTRM1 binary stream codec) with backpressure: a bounded
+//     in-flight ingest byte budget sheds load with 429/backpressure
+//     instead of letting concurrent bulk loads exhaust memory,
+//   - request contexts plumbed into the service, so a disconnected or
+//     timed-out caller actually aborts its in-flight top-K fan-out,
+//   - health (/v1/healthz) and readiness (/v1/readyz) probes plus
+//     graceful drain: Drain flips readiness, rejects new work, and waits
+//     for in-flight requests so a deployment can rotate instances without
+//     dropping queries,
+//   - per-endpoint observability at /v1/metrics (request counts, error
+//     counts, latency, and windowed request rates via metrics.RateMeter)
+//     and optional request logging.
+//
+// The matching Go client is package client; cmd/vosd wires this server to
+// a durable engine behind flags.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/vossketch/vos"
+	"github.com/vossketch/vos/internal/metrics"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// Routes, all under the /v1/ version prefix.
+const (
+	RouteEdges       = "/v1/edges"       // POST: ingest (JSON, NDJSON, or binary)
+	RouteSimilarity  = "/v1/similarity"  // GET ?u=&v=
+	RouteTopK        = "/v1/topk"        // POST TopKRequest
+	RouteCardinality = "/v1/cardinality" // GET ?user=
+	RouteStats       = "/v1/stats"       // GET
+	RouteCheckpoint  = "/v1/checkpoint"  // POST (durable engines only)
+	RouteHealthz     = "/v1/healthz"     // GET liveness
+	RouteReadyz      = "/v1/readyz"      // GET readiness (503 while draining)
+	RouteMetrics     = "/v1/metrics"     // GET per-endpoint counters
+)
+
+// Ingest content types accepted by POST /v1/edges.
+const (
+	// ContentTypeJSON carries one EdgeJSON object or a JSON array of them.
+	ContentTypeJSON = "application/json"
+	// ContentTypeNDJSON carries one EdgeJSON object per line.
+	ContentTypeNDJSON = "application/x-ndjson"
+	// ContentTypeBinary carries the VOSSTRM1 binary stream format
+	// (stream.WriteBinary) — the compact, fast path the Go client uses.
+	ContentTypeBinary = "application/octet-stream"
+)
+
+// Options tunes the server. The zero value selects the defaults.
+type Options struct {
+	// MaxBatchBytes caps a single ingest request body; larger payloads get
+	// 413/too_large. Default 8 MiB.
+	MaxBatchBytes int64
+	// MaxInFlightBytes bounds the summed body bytes of concurrently
+	// executing ingest requests — the backpressure budget. When admitting
+	// a request would exceed it, the server answers 429/backpressure with
+	// a Retry-After hint instead of buffering without bound. Default
+	// 64 MiB.
+	MaxInFlightBytes int64
+	// Logger, when non-nil, receives one line per request: method, route,
+	// status, duration, and body size.
+	Logger *log.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatchBytes <= 0 {
+		o.MaxBatchBytes = 8 << 20
+	}
+	if o.MaxInFlightBytes <= 0 {
+		o.MaxInFlightBytes = 64 << 20
+	}
+	if o.MaxInFlightBytes < o.MaxBatchBytes {
+		// A budget smaller than one full batch would deadlock chunked
+		// requests, which charge MaxBatchBytes up front.
+		o.MaxInFlightBytes = o.MaxBatchBytes
+	}
+	return o
+}
+
+// endpointStats is one route's counters. RateMeter is not concurrency-safe
+// on its own, so everything sits behind the mutex.
+type endpointStats struct {
+	mu       sync.Mutex
+	requests uint64
+	errors   uint64
+	totalNS  int64
+	meter    metrics.RateMeter
+}
+
+// Server is an http.Handler serving the /v1/ API over a
+// vos.SimilarityService. Create with New; all methods are safe for
+// concurrent use.
+type Server struct {
+	svc vos.SimilarityService
+	opt Options
+	mux *http.ServeMux
+
+	// inflight is the remaining ingest byte budget (guards memory, not
+	// correctness: the service itself applies its own backpressure by
+	// blocking when shard queues fill).
+	inflightMu sync.Mutex
+	inflight   int64
+
+	// draining and inFlight share drainMu: requests are admitted
+	// (inFlight.Add under RLock, after re-checking the flag) only while
+	// draining is false, and Drain flips the flag under Lock — so every
+	// admitted request is visible to Drain's Wait, with no
+	// check-then-register window.
+	draining bool
+	drainMu  sync.RWMutex
+	inFlight sync.WaitGroup
+
+	start time.Time
+	// byRoute/routeList are filled in New and immutable afterwards; each
+	// endpointStats carries its own lock.
+	byRoute   map[string]*endpointStats
+	routeList []string
+}
+
+// New builds a Server over svc. The handler is ready immediately; pair it
+// with an http.Server (or httptest) owned by the caller.
+func New(svc vos.SimilarityService, opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		svc:      svc,
+		opt:      opt,
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		byRoute:  make(map[string]*endpointStats),
+		inflight: opt.MaxInFlightBytes,
+	}
+	s.handle(RouteEdges, http.MethodPost, s.handleEdges)
+	s.handle(RouteSimilarity, http.MethodGet, s.handleSimilarity)
+	s.handle(RouteTopK, http.MethodPost, s.handleTopK)
+	s.handle(RouteCardinality, http.MethodGet, s.handleCardinality)
+	s.handle(RouteStats, http.MethodGet, s.handleStats)
+	s.handle(RouteCheckpoint, http.MethodPost, s.handleCheckpoint)
+	s.handle(RouteMetrics, http.MethodGet, s.handleMetrics)
+	// Health endpoints bypass the drain gate: a draining instance is still
+	// alive, and readiness must keep answering (with 503) so load
+	// balancers see the flip.
+	s.mux.HandleFunc(RouteHealthz, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+	})
+	s.mux.HandleFunc(RouteReadyz, func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+	})
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such route: "+r.URL.Path)
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	return s.draining
+}
+
+// admit registers a request with the in-flight group unless the server is
+// draining. The flag check and the Add happen under the same lock Drain
+// uses to flip the flag, so Drain's Wait can never miss a request that
+// was admitted (and the WaitGroup never sees an Add racing a Wait at
+// counter zero).
+func (s *Server) admit() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return false
+	}
+	s.inFlight.Add(1)
+	return true
+}
+
+// Drain takes the server out of rotation: /v1/readyz flips to 503, new API
+// requests are rejected with 503/unavailable, and Drain blocks until every
+// in-flight request has finished or ctx expires. It does not close the
+// backing service — the caller shuts the engine down after Drain returns,
+// so queries admitted before the flip still answer from live state. Drain
+// is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inFlight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// statusWriter captures the status code for logging and error counting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handle registers an instrumented route: method gate, drain gate,
+// in-flight tracking, per-endpoint counters, optional request log.
+func (s *Server) handle(route, method string, h http.HandlerFunc) {
+	st := &endpointStats{}
+	s.byRoute[route] = st
+	s.routeList = append(s.routeList, route)
+	s.mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		func() {
+			if r.Method != method {
+				w.Header().Set("Allow", method)
+				writeError(sw, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+					fmt.Sprintf("%s requires %s", route, method))
+				return
+			}
+			if !s.admit() {
+				writeError(sw, http.StatusServiceUnavailable, CodeUnavailable, "server is draining")
+				return
+			}
+			defer s.inFlight.Done()
+			h(sw, r)
+		}()
+		d := time.Since(t0)
+		st.mu.Lock()
+		st.requests++
+		if sw.status >= 400 {
+			st.errors++
+		}
+		st.totalNS += d.Nanoseconds()
+		st.mu.Unlock()
+		if s.opt.Logger != nil {
+			s.opt.Logger.Printf("%s %s %d %s %dB", r.Method, route, sw.status, d, r.ContentLength)
+		}
+	})
+}
+
+// --- ingest ---
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	// Admission control: charge the declared body size (or, for chunked
+	// bodies of unknown length, the per-request cap) against the in-flight
+	// budget before reading a byte.
+	charge := r.ContentLength
+	if charge < 0 {
+		charge = s.opt.MaxBatchBytes
+	}
+	if charge > s.opt.MaxBatchBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+			fmt.Sprintf("ingest body %d bytes exceeds the %d byte limit; split the batch", charge, s.opt.MaxBatchBytes))
+		return
+	}
+	if !s.acquire(charge) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, CodeBackpressure,
+			"in-flight ingest byte budget exhausted; retry after a delay")
+		return
+	}
+	defer s.release(charge)
+
+	body := http.MaxBytesReader(w, r.Body, s.opt.MaxBatchBytes)
+	edges, err := decodeEdges(r.Header.Get("Content-Type"), body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge, err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	if err := s.svc.Ingest(r.Context(), edges); err != nil {
+		s.writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Accepted: len(edges)})
+}
+
+// decodeEdges parses an ingest body in any of the three accepted formats.
+func decodeEdges(contentType string, body io.Reader) ([]vos.Edge, error) {
+	ct := contentType
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	ct = strings.TrimSpace(strings.ToLower(ct))
+	switch ct {
+	case ContentTypeBinary:
+		edges, err := stream.ReadBinary(body)
+		if err != nil {
+			return nil, fmt.Errorf("binary body: %w", err)
+		}
+		return edges, nil
+	case ContentTypeNDJSON:
+		return decodeNDJSON(body)
+	case ContentTypeJSON, "", "text/json":
+		return decodeJSONEdges(body)
+	default:
+		return nil, fmt.Errorf("unsupported Content-Type %q (want %s, %s, or %s)",
+			contentType, ContentTypeJSON, ContentTypeNDJSON, ContentTypeBinary)
+	}
+}
+
+// decodeJSONEdges accepts either a single EdgeJSON object (single-event
+// ingest) or an array of them (batch).
+func decodeJSONEdges(body io.Reader) ([]vos.Edge, error) {
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, errors.New("empty body")
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if trimmed[0] == '[' {
+		var ws []EdgeJSON
+		if err := dec.Decode(&ws); err != nil {
+			return nil, fmt.Errorf("bad JSON edge array: %w", err)
+		}
+		return edgesFromWire(ws)
+	}
+	var one EdgeJSON
+	if err := dec.Decode(&one); err != nil {
+		return nil, fmt.Errorf("bad JSON edge: %w", err)
+	}
+	return edgesFromWire([]EdgeJSON{one})
+}
+
+// decodeNDJSON parses one EdgeJSON per line; blank lines are skipped.
+func decodeNDJSON(body io.Reader) ([]vos.Edge, error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var ws []EdgeJSON
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var e EdgeJSON
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("ndjson line %d: %w", line, err)
+		}
+		ws = append(ws, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ndjson: %w", err)
+	}
+	return edgesFromWire(ws)
+}
+
+func edgesFromWire(ws []EdgeJSON) ([]vos.Edge, error) {
+	out := make([]vos.Edge, len(ws))
+	for i, w := range ws {
+		e, err := w.Edge()
+		if err != nil {
+			return nil, fmt.Errorf("edge %d: %w", i, err)
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+func (s *Server) acquire(n int64) bool {
+	s.inflightMu.Lock()
+	defer s.inflightMu.Unlock()
+	if n > s.inflight {
+		return false
+	}
+	s.inflight -= n
+	return true
+}
+
+func (s *Server) release(n int64) {
+	s.inflightMu.Lock()
+	s.inflight += n
+	s.inflightMu.Unlock()
+}
+
+// --- queries ---
+
+func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
+	u, okU := parseID(r.URL.Query().Get("u"))
+	v, okV := parseID(r.URL.Query().Get("v"))
+	if !okU || !okV {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "u and v must be unsigned integers")
+		return
+	}
+	est, err := s.svc.Similarity(r.Context(), vos.User(u), vos.User(v))
+	if err != nil {
+		s.writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EstimateToWire(est))
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req TopKRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opt.MaxBatchBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad JSON body: "+err.Error())
+		return
+	}
+	if req.N <= 0 || len(req.Candidates) == 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "need n > 0 and a non-empty candidates list")
+		return
+	}
+	candidates := make([]vos.User, len(req.Candidates))
+	for i, c := range req.Candidates {
+		candidates[i] = vos.User(c)
+	}
+	top, err := s.svc.TopK(r.Context(), vos.User(req.User), candidates, req.N)
+	if err != nil {
+		s.writeServiceError(w, err)
+		return
+	}
+	out := make([]TopKResultJSON, len(top))
+	for i, res := range top {
+		out[i] = TopKResultJSON{User: uint64(res.User), Estimate: EstimateToWire(res.Estimate)}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCardinality(w http.ResponseWriter, r *http.Request) {
+	u, ok := parseID(r.URL.Query().Get("user"))
+	if !ok {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "user must be an unsigned integer")
+		return
+	}
+	card, err := s.svc.Cardinality(r.Context(), vos.User(u))
+	if err != nil {
+		s.writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CardinalityResponse{User: u, Cardinality: card})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.svc.Stats(r.Context())
+	if err != nil {
+		s.writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsToWire(st))
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	ck, ok := s.svc.(vos.Checkpointer)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, CodeUnsupported, "backing service does not support checkpoints")
+		return
+	}
+	pos, err := ck.Checkpoint(r.Context())
+	if err != nil {
+		s.writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointResponse{Position: pos})
+}
+
+// --- metrics ---
+
+// EndpointMetrics is one route's row in the /v1/metrics response.
+type EndpointMetrics struct {
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	// AvgLatencyMS is the lifetime mean handler latency.
+	AvgLatencyMS float64 `json:"avg_latency_ms"`
+	// RequestsPerSec is the request rate since the previous /v1/metrics
+	// scrape (0 on the first scrape) — the RateMeter window.
+	RequestsPerSec float64 `json:"requests_per_sec"`
+}
+
+// MetricsResponse is the GET /v1/metrics answer.
+type MetricsResponse struct {
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	out := MetricsResponse{
+		UptimeSeconds: now.Sub(s.start).Seconds(),
+		Endpoints:     make(map[string]EndpointMetrics, len(s.routeList)),
+	}
+	for _, route := range s.routeList {
+		st := s.byRoute[route]
+		st.mu.Lock()
+		m := EndpointMetrics{
+			Requests:       st.requests,
+			Errors:         st.errors,
+			RequestsPerSec: st.meter.Observe(st.requests, now),
+		}
+		if st.requests > 0 {
+			m.AvgLatencyMS = float64(st.totalNS) / float64(st.requests) / 1e6
+		}
+		st.mu.Unlock()
+		out.Endpoints[route] = m
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- shared plumbing ---
+
+// writeServiceError maps a service error onto the typed envelope.
+func (s *Server) writeServiceError(w http.ResponseWriter, err error) {
+	status, code := statusFor(err)
+	writeError(w, status, code, err.Error())
+}
+
+// StatusClientClosedRequest is the non-standard (nginx-convention) status
+// for "the client cancelled the request": no standard 4xx fits, and 5xx
+// would page an operator for client behavior.
+const StatusClientClosedRequest = 499
+
+// statusFor maps service-layer errors to HTTP status + envelope code.
+func statusFor(err error) (int, string) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest, CodeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, CodeTimeout
+	case errors.Is(err, vos.ErrEngineNoDurability):
+		// A memory-only engine satisfies Checkpointer but cannot deliver:
+		// the capability, not the instance, is missing.
+		return http.StatusNotImplemented, CodeUnsupported
+	case errors.Is(err, vos.ErrClosed), errors.Is(err, vos.ErrQueryUnavailable):
+		return http.StatusServiceUnavailable, CodeUnavailable
+	default:
+		return http.StatusInternalServerError, CodeInternal
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", ContentTypeJSON)
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: msg}})
+}
+
+func parseID(s string) (uint64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	x, err := strconv.ParseUint(s, 10, 64)
+	return x, err == nil
+}

@@ -1,0 +1,507 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/vossketch/vos"
+	"github.com/vossketch/vos/client"
+	"github.com/vossketch/vos/server"
+)
+
+func testEngineConfig() vos.EngineConfig {
+	return vos.EngineConfig{
+		Sketch:    vos.Config{MemoryBits: 1 << 18, SketchBits: 512, Seed: 7},
+		Shards:    3,
+		BatchSize: 64,
+	}
+}
+
+// feasibleStream generates n edges over the given user count with delFrac
+// unsubscriptions of live edges, so every prefix is feasible.
+func feasibleStream(n, users int, delFrac float64, seed int64) []vos.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	type key struct {
+		u vos.User
+		i vos.Item
+	}
+	liveList := make([]key, 0, n)
+	liveIdx := make(map[key]int, n)
+	out := make([]vos.Edge, 0, n)
+	for len(out) < n {
+		if len(liveList) > 0 && rng.Float64() < delFrac {
+			pos := rng.Intn(len(liveList))
+			k := liveList[pos]
+			last := len(liveList) - 1
+			liveList[pos] = liveList[last]
+			liveIdx[liveList[pos]] = pos
+			liveList = liveList[:last]
+			delete(liveIdx, k)
+			out = append(out, vos.Edge{User: k.u, Item: k.i, Op: vos.Delete})
+			continue
+		}
+		k := key{vos.User(rng.Intn(users)), vos.Item(rng.Uint64() % 100_000)}
+		if _, dup := liveIdx[k]; dup {
+			continue
+		}
+		liveIdx[k] = len(liveList)
+		liveList = append(liveList, k)
+		out = append(out, vos.Edge{User: k.u, Item: k.i, Op: vos.Insert})
+	}
+	return out
+}
+
+// newWired builds an engine-backed server plus a client over a loopback
+// listener. The cleanup order matters: client first (flushes), then
+// listener, then engine.
+func newWired(t *testing.T, opts server.Options, clOpts client.Options) (*vos.Engine, *client.Client, string) {
+	t.Helper()
+	eng, err := vos.NewEngine(testEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(vos.NewEngineService(eng), opts))
+	cl := client.New(ts.URL, clOpts)
+	t.Cleanup(func() {
+		cl.Close()
+		ts.Close()
+		eng.Close()
+	})
+	return eng, cl, ts.URL
+}
+
+// TestWireParity is the acceptance gate: the same insert+delete stream fed
+// once to an in-process engine and once through client→server→engine must
+// produce bit-identical answers for similarity, top-K, and cardinality.
+// Estimates are comparable structs of float64s, so == is bit equality
+// (JSON carries shortest-round-trip decimals, no precision is lost).
+func TestWireParity(t *testing.T) {
+	ctx := context.Background()
+	direct, err := vos.NewEngine(testEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	_, cl, _ := newWired(t, server.Options{}, client.Options{BatchSize: 100})
+
+	edges := feasibleStream(12_000, 80, 0.3, 5)
+	if err := direct.ProcessBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	direct.Flush()
+	if err := cl.Ingest(ctx, edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	for u := vos.User(0); u < 30; u++ {
+		for v := u + 1; v < 30; v += 5 {
+			got, err := cl.Similarity(ctx, u, v)
+			if err != nil {
+				t.Fatalf("Similarity(%d,%d): %v", u, v, err)
+			}
+			if want := direct.Query(u, v); got != want {
+				t.Fatalf("Similarity(%d,%d) over the wire %+v, in-process %+v", u, v, got, want)
+			}
+		}
+		gotCard, err := cl.Cardinality(ctx, u)
+		if err != nil {
+			t.Fatalf("Cardinality(%d): %v", u, err)
+		}
+		if want := direct.Cardinality(u); gotCard != want {
+			t.Fatalf("Cardinality(%d) over the wire %d, in-process %d", u, gotCard, want)
+		}
+	}
+
+	candidates := make([]vos.User, 60)
+	for i := range candidates {
+		candidates[i] = vos.User(i)
+	}
+	gotTop, err := cl.TopK(ctx, 3, candidates, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTop := direct.TopK(3, candidates, 10)
+	if !reflect.DeepEqual(gotTop, wantTop) {
+		t.Fatalf("TopK over the wire %+v, in-process %+v", gotTop, wantTop)
+	}
+
+	gotStats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := direct.Stats(); gotStats != want {
+		t.Fatalf("Stats over the wire %+v, in-process %+v", gotStats, want)
+	}
+}
+
+// TestIngestFormats: the JSON single-object, JSON array, and NDJSON bodies
+// all land edges, and all agree with the binary path the client uses.
+func TestIngestFormats(t *testing.T) {
+	eng, err := vos.NewEngine(testEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ts := httptest.NewServer(server.New(vos.NewEngineService(eng), server.Options{}))
+	defer ts.Close()
+
+	post := func(contentType, body string) (*http.Response, server.IngestResponse) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+server.RouteEdges, contentType, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ack server.IngestResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp, ack
+	}
+
+	if resp, ack := post(server.ContentTypeJSON, `{"user":1,"item":10}`); resp.StatusCode != 200 || ack.Accepted != 1 {
+		t.Fatalf("single JSON edge: status %d, ack %+v", resp.StatusCode, ack)
+	}
+	if resp, ack := post(server.ContentTypeJSON, `[{"user":1,"item":11},{"user":2,"item":10,"op":"+"}]`); resp.StatusCode != 200 || ack.Accepted != 2 {
+		t.Fatalf("JSON array: status %d, ack %+v", resp.StatusCode, ack)
+	}
+	if resp, ack := post(server.ContentTypeNDJSON, "{\"user\":1,\"item\":12}\n\n{\"user\":1,\"item\":12,\"op\":\"-\"}\n"); resp.StatusCode != 200 || ack.Accepted != 2 {
+		t.Fatalf("NDJSON: status %d, ack %+v", resp.StatusCode, ack)
+	}
+
+	cl := client.New(ts.URL, client.Options{})
+	defer cl.Close()
+	card, err := cl.Cardinality(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card != 2 { // items 10, 11 live; 12 inserted then deleted
+		t.Fatalf("cardinality after mixed-format ingest = %d, want 2", card)
+	}
+}
+
+// errorCode POSTs/GETs raw and returns status plus envelope code.
+func errorCode(t *testing.T, method, url, contentType, body string) (int, string) {
+	t.Helper()
+	var req *http.Request
+	var err error
+	if body == "" {
+		req, err = http.NewRequest(method, url, nil)
+	} else {
+		req, err = http.NewRequest(method, url, strings.NewReader(body))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env server.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("%s %s: non-envelope error body: %v", method, url, err)
+	}
+	return resp.StatusCode, env.Error.Code
+}
+
+// TestErrorEnvelope walks the 4xx surface: every failure is the typed
+// envelope with the right code.
+func TestErrorEnvelope(t *testing.T) {
+	eng, err := vos.NewEngine(testEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ts := httptest.NewServer(server.New(vos.NewEngineService(eng), server.Options{MaxBatchBytes: 1 << 10}))
+	defer ts.Close()
+
+	cases := []struct {
+		name, method, path, ct, body string
+		status                       int
+		code                         string
+	}{
+		{"malformed JSON edge", "POST", server.RouteEdges, server.ContentTypeJSON, `{"user":`, 400, server.CodeBadRequest},
+		{"unknown op", "POST", server.RouteEdges, server.ContentTypeJSON, `{"user":1,"item":2,"op":"x"}`, 400, server.CodeBadRequest},
+		{"unknown field", "POST", server.RouteEdges, server.ContentTypeJSON, `{"user":1,"itm":2}`, 400, server.CodeBadRequest},
+		{"bad content type", "POST", server.RouteEdges, "text/csv", "1,2,+", 400, server.CodeBadRequest},
+		{"bad binary", "POST", server.RouteEdges, server.ContentTypeBinary, "not the magic", 400, server.CodeBadRequest},
+		{"malformed topk", "POST", server.RouteTopK, server.ContentTypeJSON, `{"user":}`, 400, server.CodeBadRequest},
+		{"empty candidates", "POST", server.RouteTopK, server.ContentTypeJSON, `{"user":1,"candidates":[],"n":3}`, 400, server.CodeBadRequest},
+		{"bad similarity params", "GET", server.RouteSimilarity + "?u=alice&v=2", "", "", 400, server.CodeBadRequest},
+		{"missing cardinality param", "GET", server.RouteCardinality, "", "", 400, server.CodeBadRequest},
+		{"wrong method", "GET", server.RouteEdges, "", "", 405, server.CodeMethodNotAllowed},
+		{"no such route", "GET", "/v2/edges", "", "", 404, server.CodeNotFound},
+		{"oversized batch", "POST", server.RouteEdges, server.ContentTypeJSON, `[` + strings.Repeat(`{"user":1,"item":2},`, 100) + `{"user":1,"item":2}]`, 413, server.CodeTooLarge},
+		{"checkpoint on memory-only engine", "POST", server.RouteCheckpoint, "", "", 501, server.CodeUnsupported},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, code := errorCode(t, tc.method, ts.URL+tc.path, tc.ct, tc.body)
+			if status != tc.status || code != tc.code {
+				t.Fatalf("got %d/%s, want %d/%s", status, code, tc.status, tc.code)
+			}
+		})
+	}
+}
+
+// TestCancelledContext: a request whose context is already cancelled gets
+// the canceled envelope — the service saw ctx.Err(), not a zero answer.
+func TestCancelledContext(t *testing.T) {
+	eng, err := vos.NewEngine(testEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv := server.New(vos.NewEngineService(eng), server.Options{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, path := range []string{
+		server.RouteSimilarity + "?u=1&v=2",
+		server.RouteCardinality + "?user=1",
+		server.RouteStats,
+	} {
+		req := httptest.NewRequest(http.MethodGet, path, nil).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		var env server.ErrorEnvelope
+		if err := json.NewDecoder(rec.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Code != server.StatusClientClosedRequest || env.Error.Code != server.CodeCanceled {
+			t.Fatalf("%s with cancelled ctx: got %d/%s, want %d/%s",
+				path, rec.Code, env.Error.Code, server.StatusClientClosedRequest, server.CodeCanceled)
+		}
+	}
+
+	body, _ := json.Marshal(server.TopKRequest{User: 1, Candidates: []uint64{2, 3}, N: 1})
+	req := httptest.NewRequest(http.MethodPost, server.RouteTopK, bytes.NewReader(body)).WithContext(ctx)
+	req.Header.Set("Content-Type", server.ContentTypeJSON)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != server.StatusClientClosedRequest {
+		t.Fatalf("topk with cancelled ctx: status %d, want %d", rec.Code, server.StatusClientClosedRequest)
+	}
+}
+
+// blockingService blocks Ingest until released — the deterministic way to
+// hold in-flight bytes and observe backpressure.
+type blockingService struct {
+	vos.SimilarityService
+	once    sync.Once
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingService) Ingest(ctx context.Context, edges []vos.Edge) error {
+	b.once.Do(func() { close(b.entered) })
+	<-b.release // closed channel after release: later ingests pass through
+	return nil
+}
+
+// TestBackpressure: while one ingest holds the whole in-flight budget, a
+// second gets 429/backpressure with a Retry-After hint; after release it
+// succeeds.
+func TestBackpressure(t *testing.T) {
+	eng, err := vos.NewEngine(testEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	blocker := &blockingService{
+		SimilarityService: vos.NewEngineService(eng),
+		entered:           make(chan struct{}),
+		release:           make(chan struct{}),
+	}
+	ts := httptest.NewServer(server.New(blocker, server.Options{
+		MaxBatchBytes:    1 << 10,
+		MaxInFlightBytes: 1 << 10,
+	}))
+	defer ts.Close()
+
+	body := `{"user":1,"item":2}`
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Chunked (no Content-Length) charges the full MaxBatchBytes, so
+		// this one request drains the budget no matter how small it is.
+		req, err := http.NewRequest(http.MethodPost, ts.URL+server.RouteEdges, &chunkedReader{s: body})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req.Header.Set("Content-Type", server.ContentTypeJSON)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp.Body.Close()
+	}()
+	<-blocker.entered
+
+	status, code := errorCode(t, http.MethodPost, ts.URL+server.RouteEdges, server.ContentTypeJSON, body)
+	if status != http.StatusTooManyRequests || code != server.CodeBackpressure {
+		t.Fatalf("concurrent ingest got %d/%s, want 429/%s", status, code, server.CodeBackpressure)
+	}
+
+	close(blocker.release)
+	wg.Wait()
+	resp, err := http.Post(ts.URL+server.RouteEdges, server.ContentTypeJSON, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest after release: status %d", resp.StatusCode)
+	}
+}
+
+// chunkedReader defeats net/http's Content-Length sniffing so the request
+// goes out chunked.
+type chunkedReader struct{ s string }
+
+func (r *chunkedReader) Read(p []byte) (int, error) {
+	if r.s == "" {
+		return 0, io.EOF
+	}
+	n := copy(p, r.s)
+	r.s = r.s[n:]
+	return n, nil
+}
+
+func (r *chunkedReader) Close() error { return nil }
+
+// TestHealthAndDrain: readiness flips on Drain, drained servers reject API
+// calls with 503/unavailable but keep answering health probes.
+func TestHealthAndDrain(t *testing.T) {
+	eng, err := vos.NewEngine(testEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv := server.New(vos.NewEngineService(eng), server.Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get := func(path string) (int, server.HealthResponse) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h server.HealthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h
+	}
+	if status, h := get(server.RouteHealthz); status != 200 || h.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", status, h)
+	}
+	if status, h := get(server.RouteReadyz); status != 200 || h.Status != "ok" {
+		t.Fatalf("readyz: %d %+v", status, h)
+	}
+
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if status, h := get(server.RouteReadyz); status != 503 || h.Status != "draining" {
+		t.Fatalf("readyz while draining: %d %+v", status, h)
+	}
+	if status, h := get(server.RouteHealthz); status != 200 || h.Status != "ok" {
+		t.Fatalf("healthz while draining: %d %+v", status, h)
+	}
+	if status, code := errorCode(t, http.MethodGet, ts.URL+server.RouteSimilarity+"?u=1&v=2", "", ""); status != 503 || code != server.CodeUnavailable {
+		t.Fatalf("query while draining: %d/%s, want 503/%s", status, code, server.CodeUnavailable)
+	}
+	// Idempotent.
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClosedEngine: queries against a closed engine surface ErrClosed as
+// 503/unavailable — the typed replacement for racing Close into a panic or
+// a zero estimate.
+func TestClosedEngine(t *testing.T) {
+	eng, err := vos.NewEngine(testEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(vos.NewEngineService(eng), server.Options{}))
+	defer ts.Close()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if status, code := errorCode(t, http.MethodGet, ts.URL+server.RouteSimilarity+"?u=1&v=2", "", ""); status != 503 || code != server.CodeUnavailable {
+		t.Fatalf("query on closed engine: %d/%s, want 503/%s", status, code, server.CodeUnavailable)
+	}
+	if status, code := errorCode(t, http.MethodPost, ts.URL+server.RouteEdges, server.ContentTypeJSON, `{"user":1,"item":2}`); status != 503 || code != server.CodeUnavailable {
+		t.Fatalf("ingest on closed engine: %d/%s, want 503/%s", status, code, server.CodeUnavailable)
+	}
+}
+
+// TestMetricsEndpoint: counters move, errors are counted, and the rate
+// window arms on first scrape.
+func TestMetricsEndpoint(t *testing.T) {
+	_, cl, base := newWired(t, server.Options{}, client.Options{})
+	ctx := context.Background()
+	if err := cl.Ingest(ctx, []vos.Edge{{User: 1, Item: 2, Op: vos.Insert}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Similarity(ctx, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Similarity(ctx, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// One bad request to move an error counter.
+	if status, _ := errorCode(t, http.MethodGet, base+server.RouteSimilarity+"?u=x&v=2", "", ""); status != 400 {
+		t.Fatalf("setup bad request: %d", status)
+	}
+
+	resp, err := http.Get(base + server.RouteMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m server.MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	sim := m.Endpoints[server.RouteSimilarity]
+	if sim.Requests != 3 || sim.Errors != 1 {
+		t.Fatalf("similarity metrics %+v, want 3 requests / 1 error", sim)
+	}
+	if ing := m.Endpoints[server.RouteEdges]; ing.Requests != 1 || ing.Errors != 0 {
+		t.Fatalf("ingest metrics %+v, want 1 request / 0 errors", ing)
+	}
+	if m.UptimeSeconds <= 0 {
+		t.Fatalf("uptime %v", m.UptimeSeconds)
+	}
+}

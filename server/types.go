@@ -1,0 +1,202 @@
+package server
+
+import (
+	"fmt"
+
+	"github.com/vossketch/vos"
+)
+
+// Wire types of the /v1/ API. They are defined here — in the server
+// package — as the single canonical description of the protocol; package
+// client imports them rather than maintaining a parallel copy, so the two
+// ends of the wire cannot drift.
+//
+// Estimates travel as full float64 JSON numbers. encoding/json emits the
+// shortest decimal that round-trips the exact float64, so a decoded
+// estimate is bit-identical to the one the engine produced — the property
+// the client↔server parity tests pin.
+
+// EdgeJSON is one stream element on the wire: {"user":u,"item":i,"op":"+"}.
+// Op is "+" (insert, the default when omitted) or "-" (delete).
+type EdgeJSON struct {
+	User uint64 `json:"user"`
+	Item uint64 `json:"item"`
+	Op   string `json:"op,omitempty"`
+}
+
+// Edge converts to the stream element type. It rejects unknown ops.
+func (e EdgeJSON) Edge() (vos.Edge, error) {
+	op := vos.Insert
+	switch e.Op {
+	case "+", "":
+	case "-":
+		op = vos.Delete
+	default:
+		return vos.Edge{}, fmt.Errorf(`op must be "+" or "-", got %q`, e.Op)
+	}
+	return vos.Edge{User: vos.User(e.User), Item: vos.Item(e.Item), Op: op}, nil
+}
+
+// EdgeToWire converts a stream element to its wire form.
+func EdgeToWire(e vos.Edge) EdgeJSON {
+	w := EdgeJSON{User: uint64(e.User), Item: uint64(e.Item), Op: "+"}
+	if e.Op == vos.Delete {
+		w.Op = "-"
+	}
+	return w
+}
+
+// IngestResponse acknowledges POST /v1/edges.
+type IngestResponse struct {
+	// Accepted is the number of edges folded into the service.
+	Accepted int `json:"accepted"`
+}
+
+// EstimateJSON is vos.Estimate on the wire, every field included so a
+// remote caller sees exactly what an in-process caller would.
+type EstimateJSON struct {
+	Common              float64 `json:"common"`
+	CommonClamped       float64 `json:"common_clamped"`
+	Jaccard             float64 `json:"jaccard"`
+	SymmetricDifference float64 `json:"symmetric_difference"`
+	Alpha               float64 `json:"alpha"`
+	Beta                float64 `json:"beta"`
+	CardinalityU        int64   `json:"cardinality_u"`
+	CardinalityV        int64   `json:"cardinality_v"`
+	Saturated           bool    `json:"saturated,omitempty"`
+}
+
+// Estimate converts back to the engine type.
+func (e EstimateJSON) Estimate() vos.Estimate {
+	return vos.Estimate{
+		Common:              e.Common,
+		CommonClamped:       e.CommonClamped,
+		Jaccard:             e.Jaccard,
+		SymmetricDifference: e.SymmetricDifference,
+		Alpha:               e.Alpha,
+		Beta:                e.Beta,
+		CardinalityU:        e.CardinalityU,
+		CardinalityV:        e.CardinalityV,
+		Saturated:           e.Saturated,
+	}
+}
+
+// EstimateToWire converts an engine estimate to its wire form.
+func EstimateToWire(e vos.Estimate) EstimateJSON {
+	return EstimateJSON{
+		Common:              e.Common,
+		CommonClamped:       e.CommonClamped,
+		Jaccard:             e.Jaccard,
+		SymmetricDifference: e.SymmetricDifference,
+		Alpha:               e.Alpha,
+		Beta:                e.Beta,
+		CardinalityU:        e.CardinalityU,
+		CardinalityV:        e.CardinalityV,
+		Saturated:           e.Saturated,
+	}
+}
+
+// TopKRequest is the POST /v1/topk body.
+type TopKRequest struct {
+	User       uint64   `json:"user"`
+	Candidates []uint64 `json:"candidates"`
+	N          int      `json:"n"`
+}
+
+// TopKResultJSON is one ranked candidate of the /v1/topk response.
+type TopKResultJSON struct {
+	User     uint64       `json:"user"`
+	Estimate EstimateJSON `json:"estimate"`
+}
+
+// CardinalityResponse is the GET /v1/cardinality answer.
+type CardinalityResponse struct {
+	User        uint64 `json:"user"`
+	Cardinality int64  `json:"cardinality"`
+}
+
+// StatsResponse is the GET /v1/stats answer, vos.Stats on the wire.
+type StatsResponse struct {
+	MemoryBits  uint64  `json:"memory_bits"`
+	SketchBits  int     `json:"sketch_bits"`
+	OnesCount   uint64  `json:"ones_count"`
+	Beta        float64 `json:"beta"`
+	Users       int     `json:"users"`
+	MemoryBytes uint64  `json:"memory_bytes"`
+}
+
+// Stats converts back to the engine type.
+func (s StatsResponse) Stats() vos.Stats {
+	return vos.Stats{
+		MemoryBits:  s.MemoryBits,
+		SketchBits:  s.SketchBits,
+		OnesCount:   s.OnesCount,
+		Beta:        s.Beta,
+		Users:       s.Users,
+		MemoryBytes: s.MemoryBytes,
+	}
+}
+
+// StatsToWire converts engine stats to their wire form.
+func StatsToWire(s vos.Stats) StatsResponse {
+	return StatsResponse{
+		MemoryBits:  s.MemoryBits,
+		SketchBits:  s.SketchBits,
+		OnesCount:   s.OnesCount,
+		Beta:        s.Beta,
+		Users:       s.Users,
+		MemoryBytes: s.MemoryBytes,
+	}
+}
+
+// CheckpointResponse is the POST /v1/checkpoint answer.
+type CheckpointResponse struct {
+	// Position is the WAL position the checkpoint covers.
+	Position uint64 `json:"position"`
+}
+
+// HealthResponse is the GET /v1/healthz and /v1/readyz answer.
+type HealthResponse struct {
+	Status string `json:"status"` // "ok" or "draining"
+}
+
+// Error codes of the /v1/ error envelope. Every non-2xx response carries
+// {"error":{"code":<one of these>,"message":...}}; clients branch on Code,
+// never on message text.
+const (
+	// CodeBadRequest: malformed body, unknown op, invalid parameters.
+	CodeBadRequest = "bad_request"
+	// CodeMethodNotAllowed: wrong HTTP method for the route.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeNotFound: no such route.
+	CodeNotFound = "not_found"
+	// CodeTooLarge: one ingest payload exceeds Options.MaxBatchBytes.
+	CodeTooLarge = "too_large"
+	// CodeBackpressure: the in-flight ingest byte budget
+	// (Options.MaxInFlightBytes) is exhausted; retry after a delay.
+	CodeBackpressure = "backpressure"
+	// CodeUnavailable: the service is draining, closed, or the query path
+	// cannot answer in the engine's current state.
+	CodeUnavailable = "unavailable"
+	// CodeCanceled: the request context was cancelled mid-query.
+	CodeCanceled = "canceled"
+	// CodeTimeout: the request context's deadline expired mid-query.
+	CodeTimeout = "timeout"
+	// CodeUnsupported: the route needs an optional capability (e.g.
+	// checkpointing) the backing service does not implement.
+	CodeUnsupported = "unsupported"
+	// CodeInternal: everything else.
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the payload of the error envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the uniform non-2xx response shape:
+// {"error":{"code":...,"message":...}}.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}

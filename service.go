@@ -1,0 +1,265 @@
+package vos
+
+import (
+	"context"
+	"sync"
+
+	"github.com/vossketch/vos/internal/engine"
+)
+
+// SimilarityService is the context-aware serving interface of the module:
+// one contract for "ingest a dynamic graph stream, answer similarity
+// queries over it" that every deployment shape satisfies —
+//
+//   - NewSketchService / NewConcurrentService wrap an in-process sketch,
+//   - NewEngineService wraps the sharded (optionally durable) Engine,
+//   - package client implements it over the versioned HTTP API that
+//     package server exposes, so swapping an in-process engine for a
+//     remote vosd daemon is a one-constructor change.
+//
+// All methods honour ctx: a cancelled or expired context aborts the call
+// with ctx.Err() (for Engine-backed TopK the cancellation is cooperative —
+// it actually stops the worker fan-out mid-scan, not just the return).
+// Lifecycle errors are typed: ErrClosed after the backing engine has shut
+// down, ErrQueryUnavailable for query paths the current state cannot serve.
+type SimilarityService interface {
+	// Ingest folds a slice of stream elements into the sketch state.
+	// Implementations may batch internally; when Ingest returns nil the
+	// edges are accepted (remote implementations may still be buffering —
+	// see client.Client.Flush). ctx is checked on entry (and periodically
+	// by the in-process loops), but an ingest the backing engine has
+	// started accepting runs to completion even if ctx is cancelled
+	// mid-call: a durable engine has already logged the batch, and
+	// abandoning the shard hand-off would desynchronise checkpoints from
+	// the WAL. Engine backpressure (full shard queues) therefore blocks
+	// past cancellation; bound it with queue sizing, not ctx.
+	Ingest(ctx context.Context, edges []Edge) error
+	// Similarity estimates the similarity of users u and v.
+	Similarity(ctx context.Context, u, v User) (Estimate, error)
+	// TopK returns the n candidates most similar to u, best first.
+	TopK(ctx context.Context, u User, candidates []User, n int) ([]TopKResult, error)
+	// Cardinality returns n_u, the tracked item count of user u.
+	Cardinality(ctx context.Context, u User) (int64, error)
+	// Stats summarises the sketch state backing the service.
+	Stats(ctx context.Context) (Stats, error)
+}
+
+// Checkpointer is the optional durability extension of SimilarityService:
+// services backed by a durable Engine (and remote clients talking to one)
+// can persist a checkpoint on demand. POST /v1/checkpoint probes for it.
+type Checkpointer interface {
+	Checkpoint(ctx context.Context) (uint64, error)
+}
+
+// ErrQueryUnavailable is returned by query paths that cannot answer in the
+// backing engine's current state (e.g. Engine.QueryLocal after checkpoint
+// recovery). Callers should fall back to the merged-snapshot query path.
+var ErrQueryUnavailable = engine.ErrQueryUnavailable
+
+// ErrNotCoResident is returned by Engine.QueryLocal when the two users live
+// on different shards; fall back to Engine.Query.
+var ErrNotCoResident = engine.ErrNotCoResident
+
+// ErrClosed is returned by every SimilarityService method once the backing
+// engine has been closed. It is the same sentinel as ErrEngineClosed, under
+// the name the service layer uses.
+var ErrClosed = engine.ErrClosed
+
+// ingestCheckStride is how many edges the in-process Ingest loops fold
+// between context polls: frequent enough that a cancelled bulk load stops
+// within microseconds, rare enough that the poll never shows on a profile.
+const ingestCheckStride = 1024
+
+// engineService adapts *Engine to SimilarityService. Reads flush first —
+// read-your-writes: an accepted edge may still sit in a producer buffer or
+// shard queue, and the engine's merged snapshot only covers applied edges,
+// so querying without the flush could silently miss acknowledged writes
+// (the exact silent-zero the typed service contract exists to remove).
+// Write-heavy deployments that prefer bounded staleness over
+// read-your-writes should query the Engine directly with
+// EngineConfig.SnapshotMaxLag set.
+type engineService struct {
+	e *Engine
+}
+
+// NewEngineService wraps a sharded Engine in the SimilarityService
+// interface. Queries flush the engine first (read-your-writes); see
+// SimilarityService for the context and error contract. The engine's
+// lifecycle stays with the caller — closing the engine makes every method
+// return ErrClosed.
+func NewEngineService(e *Engine) SimilarityService { return &engineService{e: e} }
+
+func (s *engineService) Ingest(ctx context.Context, edges []Edge) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.e.ProcessBatch(edges)
+}
+
+func (s *engineService) Similarity(ctx context.Context, u, v User) (Estimate, error) {
+	if err := s.flush(ctx); err != nil {
+		return Estimate{}, err
+	}
+	return s.e.QueryContext(ctx, u, v)
+}
+
+func (s *engineService) TopK(ctx context.Context, u User, candidates []User, n int) ([]TopKResult, error) {
+	if err := s.flush(ctx); err != nil {
+		return nil, err
+	}
+	return s.e.TopKContext(ctx, u, candidates, n)
+}
+
+func (s *engineService) Cardinality(ctx context.Context, u User) (int64, error) {
+	if err := s.flush(ctx); err != nil {
+		return 0, err
+	}
+	return s.e.CardinalityContext(ctx, u)
+}
+
+func (s *engineService) Stats(ctx context.Context) (Stats, error) {
+	if err := s.flush(ctx); err != nil {
+		return Stats{}, err
+	}
+	return s.e.StatsContext(ctx)
+}
+
+// Checkpoint implements Checkpointer; ErrEngineNoDurability on a
+// memory-only engine.
+func (s *engineService) Checkpoint(ctx context.Context) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return s.e.Checkpoint()
+}
+
+// flush gives reads read-your-writes and converts the lifecycle states
+// into the typed errors the interface promises. The closed check is
+// best-effort ordering, not a guard: Engine.Flush is itself safe against
+// a racing Close (it returns once Close has begun, whose own drain
+// applies everything buffered), and the query that follows either sees
+// the engine's final state or reports ErrClosed from its own check.
+func (s *engineService) flush(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.e.Closed() {
+		return ErrClosed
+	}
+	s.e.Flush()
+	return nil
+}
+
+// sketchService adapts a bare *Sketch to SimilarityService, serialising
+// every call on one mutex — the sketch itself is not safe for concurrent
+// use, and a service handed to an HTTP server will be called from many
+// goroutines. It is the single-core deployment shape; use NewEngineService
+// when ingest must scale.
+type sketchService struct {
+	mu sync.Mutex
+	sk *Sketch
+}
+
+// NewSketchService wraps a bare Sketch in the SimilarityService interface.
+// Calls are serialised on an internal mutex, so the service is safe for
+// concurrent use even though the sketch is not.
+func NewSketchService(sk *Sketch) SimilarityService { return &sketchService{sk: sk} }
+
+func (s *sketchService) Ingest(ctx context.Context, edges []Edge) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, e := range edges {
+		if i%ingestCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		s.sk.Process(e)
+	}
+	return nil
+}
+
+func (s *sketchService) Similarity(ctx context.Context, u, v User) (Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sk.Query(u, v), nil
+}
+
+func (s *sketchService) TopK(ctx context.Context, u User, candidates []User, n int) ([]TopKResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sk.TopKRecoveredContext(ctx, s.sk.RecoverSketch(u), candidates, n)
+}
+
+func (s *sketchService) Cardinality(ctx context.Context, u User) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sk.Cardinality(u), nil
+}
+
+func (s *sketchService) Stats(ctx context.Context) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sk.Stats(), nil
+}
+
+// concurrentService adapts *ConcurrentSketch: the wrapper already owns the
+// locking, so the adapter only adds the context checks.
+type concurrentService struct {
+	c *ConcurrentSketch
+}
+
+// NewConcurrentService wraps a ConcurrentSketch in the SimilarityService
+// interface.
+func NewConcurrentService(c *ConcurrentSketch) SimilarityService {
+	return &concurrentService{c: c}
+}
+
+func (s *concurrentService) Ingest(ctx context.Context, edges []Edge) error {
+	for i, e := range edges {
+		if i%ingestCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		s.c.Process(e)
+	}
+	return nil
+}
+
+func (s *concurrentService) Similarity(ctx context.Context, u, v User) (Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, err
+	}
+	return s.c.Query(u, v), nil
+}
+
+func (s *concurrentService) TopK(ctx context.Context, u User, candidates []User, n int) ([]TopKResult, error) {
+	return s.c.TopKContext(ctx, u, candidates, n)
+}
+
+func (s *concurrentService) Cardinality(ctx context.Context, u User) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return s.c.Cardinality(u), nil
+}
+
+func (s *concurrentService) Stats(ctx context.Context) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
+	return s.c.Stats(), nil
+}

@@ -33,6 +33,15 @@
 // exactly merged snapshot — because VOS merging is exact for any partition
 // of the stream, sharded ingest costs no accuracy. See examples/sharded.
 //
+// # Serving
+//
+// SimilarityService is the context-aware serving interface all deployment
+// shapes satisfy: NewSketchService, NewConcurrentService, and
+// NewEngineService adapt the in-process types, package server exposes any
+// SimilarityService over a versioned HTTP API, package client implements
+// it over the wire, and cmd/vosd is the runnable daemon. See the README's
+// "Serving" section.
+//
 // # Quick start
 //
 //	sk := vos.MustNew(vos.Config{MemoryBits: 1 << 22, SketchBits: 4096, Seed: 1})
