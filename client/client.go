@@ -60,10 +60,16 @@ func (e *Error) Error() string {
 // unavailable matches vos.ErrClosed and vos.ErrQueryUnavailable, canceled
 // and timeout match the context errors — so code written against an
 // in-process SimilarityService keeps working against a remote one.
+// A draining instance is transient, not shut down: its code matches
+// vos.ErrQueryUnavailable (the query path cannot answer right now) but
+// never vos.ErrClosed, so callers branching on ErrClosed only see genuine
+// engine shutdown.
 func (e *Error) Is(target error) bool {
 	switch e.Code {
 	case server.CodeUnavailable:
 		return target == vos.ErrClosed || target == vos.ErrQueryUnavailable
+	case server.CodeDraining:
+		return target == vos.ErrQueryUnavailable
 	case server.CodeCanceled:
 		return target == context.Canceled
 	case server.CodeTimeout:

@@ -191,6 +191,7 @@ func TestErrorSentinelMapping(t *testing.T) {
 	}{
 		{server.CodeUnavailable, 503, vos.ErrClosed},
 		{server.CodeUnavailable, 503, vos.ErrQueryUnavailable},
+		{server.CodeDraining, 503, vos.ErrQueryUnavailable},
 		{server.CodeCanceled, server.StatusClientClosedRequest, context.Canceled},
 		{server.CodeTimeout, 504, context.DeadlineExceeded},
 	}
@@ -203,6 +204,12 @@ func TestErrorSentinelMapping(t *testing.T) {
 	err := &client.Error{Status: 400, Code: server.CodeBadRequest, Message: "x"}
 	if errors.Is(err, vos.ErrClosed) {
 		t.Error("bad_request must not match ErrClosed")
+	}
+	// Draining is transient rotation, not engine shutdown: it must stay
+	// distinguishable from a genuinely closed engine.
+	err = &client.Error{Status: 503, Code: server.CodeDraining, Message: "x"}
+	if errors.Is(err, vos.ErrClosed) {
+		t.Error("draining must not match ErrClosed")
 	}
 }
 

@@ -65,7 +65,8 @@ func run(args []string, stdout io.Writer) error {
 		ckptEvery  = fs.Duration("checkpoint-interval", 0, "automatic checkpoint period (0 disables; durable only)")
 
 		maxBatchBytes    = fs.Int64("max-batch-bytes", 0, "per-request ingest body cap (0 = default 8 MiB)")
-		maxInFlightBytes = fs.Int64("max-inflight-bytes", 0, "summed in-flight ingest bytes before backpressure (0 = default 64 MiB)")
+		maxInFlightBytes = fs.Int64("max-inflight-bytes", 0, "summed worst-case in-flight ingest memory (wire + decoded) before backpressure (0 = default 128 MiB)")
+		readTimeout      = fs.Duration("read-timeout", 30*time.Second, "max time to read a full request, headers and body (0 disables)")
 		drainTimeout     = fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 		verbose          = fs.Bool("verbose", false, "log one line per request")
 	)
@@ -116,7 +117,16 @@ func run(args []string, stdout io.Writer) error {
 		eng.Close()
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	// ReadTimeout matters for more than hygiene: handleEdges charges the
+	// in-flight ingest byte budget up front, so without a body deadline a
+	// handful of clients trickling bytes could hold the whole budget and
+	// starve ingest behind 429s. The timeout bounds how long any one
+	// request can sit on its slice of the budget.
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	fmt.Fprintf(stdout, "vosd listening on http://%s (shards=%d, durable=%v)\n",

@@ -156,6 +156,15 @@ func ReadBinary(r io.Reader) ([]Edge, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
 	}
+	// Each element occupies at least two bytes (a one-byte uvarint each for
+	// the user+op word and the item), so a count the remaining bytes cannot
+	// possibly hold is malformed. ReadBinary is exposed to untrusted input
+	// (POST /v1/edges), so the pre-allocation below must never trust count
+	// beyond what the body could actually encode — a forged 16-byte header
+	// must not reserve gigabytes.
+	if count > uint64(len(rest))/2 {
+		return nil, fmt.Errorf("%w: count %d exceeds capacity of %d remaining bytes", ErrBadFormat, count, len(rest))
+	}
 	out := make([]Edge, 0, count)
 	for idx := uint64(0); idx < count; idx++ {
 		e, n := DecodeElement(rest)

@@ -2,6 +2,8 @@ package stream
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -292,6 +294,28 @@ func TestReadBinaryRejectsCorruption(t *testing.T) {
 		if _, err := ReadBinary(bytes.NewReader(d)); err == nil {
 			t.Errorf("%s: corruption not detected", name)
 		}
+	}
+}
+
+// TestReadBinaryForgedCount: the decoder reaches untrusted input through
+// POST /v1/edges, so a tiny body declaring a huge element count must be
+// rejected as malformed before the count drives any allocation — a
+// ~16-byte request must not reserve gigabytes.
+func TestReadBinaryForgedCount(t *testing.T) {
+	for _, count := range []uint64{1, 1 << 20, 1 << 30} {
+		forged := append([]byte(nil), binaryMagic[:]...)
+		forged = binary.AppendUvarint(forged, count)
+		// No elements follow: any count > 0 exceeds what the body holds.
+		if _, err := ReadBinary(bytes.NewReader(forged)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("count %d over empty body: want ErrBadFormat, got %v", count, err)
+		}
+	}
+	// Borderline: a body of 2n bytes can hold at most n elements.
+	forged := append([]byte(nil), binaryMagic[:]...)
+	forged = binary.AppendUvarint(forged, 3)
+	forged = append(forged, 1, 2, 3, 4) // 4 bytes: capacity for 2 elements, not 3
+	if _, err := ReadBinary(bytes.NewReader(forged)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("count 3 over 4-byte body: want ErrBadFormat, got %v", err)
 	}
 }
 

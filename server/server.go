@@ -37,6 +37,7 @@ import (
 	"strings"
 	"sync"
 	"time"
+	"unsafe"
 
 	"github.com/vossketch/vos"
 	"github.com/vossketch/vos/internal/metrics"
@@ -72,11 +73,20 @@ type Options struct {
 	// MaxBatchBytes caps a single ingest request body; larger payloads get
 	// 413/too_large. Default 8 MiB.
 	MaxBatchBytes int64
-	// MaxInFlightBytes bounds the summed body bytes of concurrently
-	// executing ingest requests — the backpressure budget. When admitting
-	// a request would exceed it, the server answers 429/backpressure with
-	// a Retry-After hint instead of buffering without bound. Default
-	// 64 MiB.
+	// MaxInFlightBytes bounds the memory of concurrently executing ingest
+	// requests — the backpressure budget. On admission each request
+	// charges its worst-case footprint: wire bytes plus the largest edge
+	// slice the body could decode to (compact binary bodies decode at up
+	// to ~12x amplification, so a binary request holds up to 13x its wire
+	// size until parsing reveals the real count), keeping the budget a
+	// bound on decoded memory, not just bodies. When admission would
+	// exceed the budget, the server answers 429/backpressure with a
+	// Retry-After hint instead of buffering without bound; a single batch
+	// whose worst case exceeds the whole budget gets 413/too_large (it
+	// could never be admitted — with an explicit budget, the largest
+	// acceptable binary batch is about MaxInFlightBytes/13 wire bytes).
+	// Default 128 MiB, sized so one maximal binary batch under the
+	// default MaxBatchBytes (13 x 8 MiB = 104 MiB) is admissible.
 	MaxInFlightBytes int64
 	// Logger, when non-nil, receives one line per request: method, route,
 	// status, duration, and body size.
@@ -88,7 +98,7 @@ func (o Options) withDefaults() Options {
 		o.MaxBatchBytes = 8 << 20
 	}
 	if o.MaxInFlightBytes <= 0 {
-		o.MaxInFlightBytes = 64 << 20
+		o.MaxInFlightBytes = 128 << 20
 	}
 	if o.MaxInFlightBytes < o.MaxBatchBytes {
 		// A budget smaller than one full batch would deadlock chunked
@@ -254,7 +264,7 @@ func (s *Server) handle(route, method string, h http.HandlerFunc) {
 				return
 			}
 			if !s.admit() {
-				writeError(sw, http.StatusServiceUnavailable, CodeUnavailable, "server is draining")
+				writeError(sw, http.StatusServiceUnavailable, CodeDraining, "server is draining")
 				return
 			}
 			defer s.inFlight.Done()
@@ -277,25 +287,57 @@ func (s *Server) handle(route, method string, h http.HandlerFunc) {
 // --- ingest ---
 
 func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
-	// Admission control: charge the declared body size (or, for chunked
-	// bodies of unknown length, the per-request cap) against the in-flight
-	// budget before reading a byte.
-	charge := r.ContentLength
-	if charge < 0 {
-		charge = s.opt.MaxBatchBytes
+	// Admission control: charge this request's worst-case memory — wire
+	// bytes (declared, or the per-request cap for chunked bodies of
+	// unknown length) plus the largest edge slice the body could decode to
+	// — against the in-flight budget before reading a byte. JSON and
+	// NDJSON decode to roughly their wire size, but the binary format
+	// packs an edge into as little as 2 wire bytes, so its decoded slice
+	// can be ~12x the body; charging wire bytes alone would admit far more
+	// decoded memory than the budget names, and charging only after
+	// decoding would bound nothing — the allocation would already exist.
+	// The pessimistic hold is trimmed to the real footprint once parsing
+	// reveals the edge count.
+	wire := r.ContentLength
+	isBinary := normalizeCT(r.Header.Get("Content-Type")) == ContentTypeBinary
+	if wire < 0 {
+		// Chunked binary would have to charge the cap's worst case — a
+		// fixed ~13x MaxBatchBytes no matter how small the body, which
+		// under a tight budget rejects requests that splitting cannot
+		// save. Binary senders buffer batches anyway (the Go client
+		// does), so demand the length instead of guessing.
+		if isBinary {
+			writeError(w, http.StatusLengthRequired, CodeBadRequest,
+				"binary ingest requires Content-Length")
+			return
+		}
+		wire = s.opt.MaxBatchBytes
 	}
-	if charge > s.opt.MaxBatchBytes {
+	if wire > s.opt.MaxBatchBytes {
 		writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
-			fmt.Sprintf("ingest body %d bytes exceeds the %d byte limit; split the batch", charge, s.opt.MaxBatchBytes))
+			fmt.Sprintf("ingest body %d bytes exceeds the %d byte limit; split the batch", wire, s.opt.MaxBatchBytes))
 		return
 	}
-	if !s.acquire(charge) {
+	held := wire
+	if isBinary {
+		held += wire / 2 * edgeMemBytes
+	}
+	if held > s.opt.MaxInFlightBytes {
+		// Could never be admitted even on an idle server, so retrying the
+		// 429 would loop forever — tell the caller to split instead
+		// (held scales with the declared size, so splitting always helps).
+		writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+			fmt.Sprintf("batch worst-case footprint %d bytes exceeds the %d byte in-flight budget; split the batch",
+				held, s.opt.MaxInFlightBytes))
+		return
+	}
+	if !s.acquire(held) {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, CodeBackpressure,
 			"in-flight ingest byte budget exhausted; retry after a delay")
 		return
 	}
-	defer s.release(charge)
+	defer func() { s.release(held) }()
 
 	body := http.MaxBytesReader(w, r.Body, s.opt.MaxBatchBytes)
 	edges, err := decodeEdges(r.Header.Get("Content-Type"), body)
@@ -308,6 +350,12 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
+	// Trim the pessimistic hold to the real footprint, freeing budget for
+	// concurrent requests while the engine ingests.
+	if actual := wire + int64(len(edges))*edgeMemBytes; actual < held {
+		s.release(held - actual)
+		held = actual
+	}
 	if err := s.svc.Ingest(r.Context(), edges); err != nil {
 		s.writeServiceError(w, err)
 		return
@@ -315,14 +363,18 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, IngestResponse{Accepted: len(edges)})
 }
 
+// normalizeCT strips parameters, surrounding space, and case from a
+// Content-Type header value.
+func normalizeCT(contentType string) string {
+	if i := strings.IndexByte(contentType, ';'); i >= 0 {
+		contentType = contentType[:i]
+	}
+	return strings.TrimSpace(strings.ToLower(contentType))
+}
+
 // decodeEdges parses an ingest body in any of the three accepted formats.
 func decodeEdges(contentType string, body io.Reader) ([]vos.Edge, error) {
-	ct := contentType
-	if i := strings.IndexByte(ct, ';'); i >= 0 {
-		ct = ct[:i]
-	}
-	ct = strings.TrimSpace(strings.ToLower(ct))
-	switch ct {
+	switch normalizeCT(contentType) {
 	case ContentTypeBinary:
 		edges, err := stream.ReadBinary(body)
 		if err != nil {
@@ -357,13 +409,29 @@ func decodeJSONEdges(body io.Reader) ([]vos.Edge, error) {
 		if err := dec.Decode(&ws); err != nil {
 			return nil, fmt.Errorf("bad JSON edge array: %w", err)
 		}
+		if err := expectExhausted(dec); err != nil {
+			return nil, fmt.Errorf("bad JSON edge array: %w", err)
+		}
 		return edgesFromWire(ws)
 	}
 	var one EdgeJSON
 	if err := dec.Decode(&one); err != nil {
 		return nil, fmt.Errorf("bad JSON edge: %w", err)
 	}
+	if err := expectExhausted(dec); err != nil {
+		return nil, fmt.Errorf("bad JSON edge: %w", err)
+	}
 	return edgesFromWire([]EdgeJSON{one})
+}
+
+// expectExhausted rejects input left over after a complete JSON value —
+// Decoder.Decode stops at the value's end, so without this check
+// concatenated or corrupted payloads would be silently half-ingested.
+func expectExhausted(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
 }
 
 // decodeNDJSON parses one EdgeJSON per line; blank lines are skipped.
@@ -378,8 +446,16 @@ func decodeNDJSON(body io.Reader) ([]vos.Edge, error) {
 		if len(raw) == 0 {
 			continue
 		}
+		// Same strictness as the JSON array path: a misspelled field must
+		// be rejected, not silently ingested as the zero user/item, and a
+		// line holding more than one value is corruption, not a batch.
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
 		var e EdgeJSON
-		if err := json.Unmarshal(raw, &e); err != nil {
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("ndjson line %d: %w", line, err)
+		}
+		if err := expectExhausted(dec); err != nil {
 			return nil, fmt.Errorf("ndjson line %d: %w", line, err)
 		}
 		ws = append(ws, e)
@@ -401,6 +477,11 @@ func edgesFromWire(ws []EdgeJSON) ([]vos.Edge, error) {
 	}
 	return out, nil
 }
+
+// edgeMemBytes is the in-memory footprint of one decoded edge, used to
+// top up the wire-byte admission charge so the in-flight budget bounds
+// decoded slices too (binary edges can be ~2 bytes on the wire).
+const edgeMemBytes = int64(unsafe.Sizeof(vos.Edge{}))
 
 func (s *Server) acquire(n int64) bool {
 	s.inflightMu.Lock()

@@ -241,6 +241,11 @@ func TestErrorEnvelope(t *testing.T) {
 		{"malformed JSON edge", "POST", server.RouteEdges, server.ContentTypeJSON, `{"user":`, 400, server.CodeBadRequest},
 		{"unknown op", "POST", server.RouteEdges, server.ContentTypeJSON, `{"user":1,"item":2,"op":"x"}`, 400, server.CodeBadRequest},
 		{"unknown field", "POST", server.RouteEdges, server.ContentTypeJSON, `{"user":1,"itm":2}`, 400, server.CodeBadRequest},
+		{"NDJSON unknown field", "POST", server.RouteEdges, server.ContentTypeNDJSON, "{\"usr\":1,\"item\":2}\n", 400, server.CodeBadRequest},
+		{"NDJSON concatenated objects", "POST", server.RouteEdges, server.ContentTypeNDJSON, "{\"user\":1,\"item\":2}{\"user\":3,\"item\":4}\n", 400, server.CodeBadRequest},
+		{"JSON trailing garbage", "POST", server.RouteEdges, server.ContentTypeJSON, `{"user":1,"item":2}{"user":3,"item":4}`, 400, server.CodeBadRequest},
+		{"JSON array trailing garbage", "POST", server.RouteEdges, server.ContentTypeJSON, `[{"user":1,"item":2}]]`, 400, server.CodeBadRequest},
+		{"forged binary count", "POST", server.RouteEdges, server.ContentTypeBinary, "VOSSTRM1\x80\x80\x80\x80\x04", 400, server.CodeBadRequest},
 		{"bad content type", "POST", server.RouteEdges, "text/csv", "1,2,+", 400, server.CodeBadRequest},
 		{"bad binary", "POST", server.RouteEdges, server.ContentTypeBinary, "not the magic", 400, server.CodeBadRequest},
 		{"malformed topk", "POST", server.RouteTopK, server.ContentTypeJSON, `{"user":}`, 400, server.CodeBadRequest},
@@ -259,6 +264,63 @@ func TestErrorEnvelope(t *testing.T) {
 				t.Fatalf("got %d/%s, want %d/%s", status, code, tc.status, tc.code)
 			}
 		})
+	}
+}
+
+// TestBinaryWorstCaseTooLarge: a binary batch whose worst-case decoded
+// footprint (~13x wire bytes) exceeds the whole in-flight budget can never
+// be admitted, so it must get a deterministic 413 telling the caller to
+// split — not an unwinnable 429 loop, and no decode-sized allocation.
+func TestBinaryWorstCaseTooLarge(t *testing.T) {
+	eng, err := vos.NewEngine(testEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ts := httptest.NewServer(server.New(vos.NewEngineService(eng), server.Options{
+		MaxBatchBytes:    1 << 20,
+		MaxInFlightBytes: 1 << 20,
+	}))
+	defer ts.Close()
+
+	// 512 KiB wire is under MaxBatchBytes but holds up to 512Ki/2 edges,
+	// a ~6 MiB decoded slice — far over the 1 MiB budget. The body is
+	// never read, so junk bytes suffice.
+	status, code := errorCode(t, http.MethodPost, ts.URL+server.RouteEdges,
+		server.ContentTypeBinary, strings.Repeat("x", 512<<10))
+	if status != http.StatusRequestEntityTooLarge || code != server.CodeTooLarge {
+		t.Fatalf("unadmittable binary batch: got %d/%s, want 413/%s", status, code, server.CodeTooLarge)
+	}
+}
+
+// TestChunkedBinaryRequiresLength: a binary body of unknown length would
+// have to charge the cap-derived worst case (~13x MaxBatchBytes) no matter
+// how small it really is, so the server demands Content-Length up front.
+func TestChunkedBinaryRequiresLength(t *testing.T) {
+	eng, err := vos.NewEngine(testEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ts := httptest.NewServer(server.New(vos.NewEngineService(eng), server.Options{}))
+	defer ts.Close()
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+server.RouteEdges, &chunkedReader{s: "VOSSTRM1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", server.ContentTypeBinary)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env server.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusLengthRequired || env.Error.Code != server.CodeBadRequest {
+		t.Fatalf("chunked binary: got %d/%s, want 411/%s", resp.StatusCode, env.Error.Code, server.CodeBadRequest)
 	}
 }
 
@@ -432,8 +494,8 @@ func TestHealthAndDrain(t *testing.T) {
 	if status, h := get(server.RouteHealthz); status != 200 || h.Status != "ok" {
 		t.Fatalf("healthz while draining: %d %+v", status, h)
 	}
-	if status, code := errorCode(t, http.MethodGet, ts.URL+server.RouteSimilarity+"?u=1&v=2", "", ""); status != 503 || code != server.CodeUnavailable {
-		t.Fatalf("query while draining: %d/%s, want 503/%s", status, code, server.CodeUnavailable)
+	if status, code := errorCode(t, http.MethodGet, ts.URL+server.RouteSimilarity+"?u=1&v=2", "", ""); status != 503 || code != server.CodeDraining {
+		t.Fatalf("query while draining: %d/%s, want 503/%s", status, code, server.CodeDraining)
 	}
 	// Idempotent.
 	if err := srv.Drain(context.Background()); err != nil {

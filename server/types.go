@@ -175,9 +175,14 @@ const (
 	// CodeBackpressure: the in-flight ingest byte budget
 	// (Options.MaxInFlightBytes) is exhausted; retry after a delay.
 	CodeBackpressure = "backpressure"
-	// CodeUnavailable: the service is draining, closed, or the query path
-	// cannot answer in the engine's current state.
+	// CodeUnavailable: the service is closed or the query path cannot
+	// answer in the engine's current state.
 	CodeUnavailable = "unavailable"
+	// CodeDraining: this instance is draining out of rotation ahead of a
+	// shutdown or deploy; retry against another instance. Kept distinct
+	// from CodeUnavailable so a transiently rotating instance is never
+	// mistaken for a permanently closed engine.
+	CodeDraining = "draining"
 	// CodeCanceled: the request context was cancelled mid-query.
 	CodeCanceled = "canceled"
 	// CodeTimeout: the request context's deadline expired mid-query.
