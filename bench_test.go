@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/vossketch/vos"
 	"github.com/vossketch/vos/client"
@@ -223,6 +224,46 @@ func ingestStream(b *testing.B) []vos.Edge {
 // ingestion benchmarks, so their numbers are comparable.
 func ingestConfig() vos.Config {
 	return vos.Config{MemoryBits: 1 << 24, SketchBits: 6400, Seed: 1}
+}
+
+// BenchmarkWindowedIngest measures the sliding-window write path: each
+// edge lands in the current bucket AND the live merged view (the hashes
+// are computed once; two bit flips, two counter bumps), so the expected
+// cost is under 2x BenchmarkSequentialIngest, still O(1) per edge.
+func BenchmarkWindowedIngest(b *testing.B) {
+	edges := ingestStream(b)
+	w, err := vos.NewWindowed(ingestConfig(), 8, time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Process(edges[i%len(edges)])
+	}
+}
+
+// BenchmarkWindowRotate measures retiring one bucket at paper scale
+// (m=2^24): an O(sketch) Unmerge pass plus the bucket reset, independent
+// of how many edges the bucket absorbed. Each iteration refills the
+// current bucket (untimed) and times only the rotation.
+func BenchmarkWindowRotate(b *testing.B) {
+	edges := ingestStream(b)
+	w, err := vos.NewWindowed(ingestConfig(), 8, time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const fill = 50_000
+	pos := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < fill; j++ {
+			w.Process(edges[pos%len(edges)])
+			pos++
+		}
+		b.StartTimer()
+		w.Rotate()
+	}
 }
 
 // BenchmarkSequentialIngest is the single-goroutine, single-sketch

@@ -1,23 +1,3 @@
-// Package client is the Go client for the /v1/ HTTP API served by package
-// server: a vos.SimilarityService implementation over the wire, so a caller
-// can swap an in-process engine for a remote vosd daemon by changing one
-// constructor.
-//
-// Writes batch like the engine's producer path: Ingest appends to a
-// pending buffer, full batches of Options.BatchSize edges are shipped
-// synchronously in the compact VOSSTRM1 binary format, and a background
-// linger ticker ships partial batches so an idle stream's tail never sits
-// unsent (Flush forces the residue out, Close flushes and stops the
-// ticker). Reads — similarity, top-K, cardinality, stats — are idempotent
-// and retried on transient transport errors and 5xx responses with
-// exponential backoff; context cancellation is honoured everywhere and is
-// never retried.
-//
-// Server-side failures carry the typed envelope
-// {"error":{"code":...,"message":...}}; the client surfaces them as *Error
-// with the code and HTTP status preserved, and maps lifecycle codes back
-// onto the vos sentinels, so errors.Is(err, vos.ErrClosed) works the same
-// against a remote service as against a local one.
 package client
 
 import (
@@ -58,8 +38,9 @@ func (e *Error) Error() string {
 
 // Is maps envelope codes back onto the service-layer sentinels:
 // unavailable matches vos.ErrClosed and vos.ErrQueryUnavailable, canceled
-// and timeout match the context errors — so code written against an
-// in-process SimilarityService keeps working against a remote one.
+// and timeout match the context errors, outside_window matches
+// vos.ErrOutsideWindow — so code written against an in-process
+// SimilarityService keeps working against a remote one.
 // A draining instance is transient, not shut down: its code matches
 // vos.ErrQueryUnavailable (the query path cannot answer right now) but
 // never vos.ErrClosed, so callers branching on ErrClosed only see genuine
@@ -70,6 +51,8 @@ func (e *Error) Is(target error) bool {
 		return target == vos.ErrClosed || target == vos.ErrQueryUnavailable
 	case server.CodeDraining:
 		return target == vos.ErrQueryUnavailable
+	case server.CodeOutsideWindow:
+		return target == vos.ErrOutsideWindow
 	case server.CodeCanceled:
 		return target == context.Canceled
 	case server.CodeTimeout:
@@ -315,10 +298,76 @@ func (c *Client) Similarity(ctx context.Context, u, v vos.User) (vos.Estimate, e
 	return est.Estimate(), nil
 }
 
+// SimilarityAt is Similarity asserting the query is about the instant at:
+// a sliding-window server answers from the live window only when at is
+// still inside it, and errors.Is(err, vos.ErrOutsideWindow) reports an
+// instant whose edges have been retired. Against an unwindowed server the
+// call fails with a bad_request *Error — there is no retained-time notion
+// to check.
+func (c *Client) SimilarityAt(ctx context.Context, u, v vos.User, at time.Time) (vos.Estimate, error) {
+	q := url.Values{}
+	q.Set("u", strconv.FormatUint(uint64(u), 10))
+	q.Set("v", strconv.FormatUint(uint64(v), 10))
+	q.Set("at", formatUnixSeconds(at))
+	var est server.EstimateJSON
+	if err := c.getRetry(ctx, server.RouteSimilarity+"?"+q.Encode(), &est); err != nil {
+		return vos.Estimate{}, err
+	}
+	return est.Estimate(), nil
+}
+
+// AdvanceWindow drives the remote sliding window's event time forward to
+// t, rotating buckets the stream time has moved past — an empty
+// timestamped ingest (POST /v1/edges with the X-Vos-Batch-Ts header and
+// zero edges). The pending write buffer is flushed first, so edges from
+// earlier Ingest calls reach the server on the pre-advance side of the
+// rotation instead of being overtaken by it and landing in the fresh
+// bucket. A server without a window accepts and ignores the advance.
+// Like all ingest it is never retried; re-sending after an ambiguous
+// failure is safe, though, since the window never moves backwards.
+func (c *Client) AdvanceWindow(ctx context.Context, t time.Time) error {
+	if err := c.Flush(ctx); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := stream.WriteBinary(&buf, nil); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+server.RouteEdges, &buf)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", server.ContentTypeBinary)
+	req.Header.Set(server.HeaderBatchTs, formatUnixSeconds(t))
+	return c.do(req, nil)
+}
+
+// formatUnixSeconds renders t as the fractional-unix-seconds form the
+// /v1/ API's ts and at fields use.
+func formatUnixSeconds(t time.Time) string {
+	return strconv.FormatFloat(float64(t.UnixNano())/1e9, 'f', -1, 64)
+}
+
 // TopK implements vos.SimilarityService. Top-K is a read, so it is retried
 // like the GETs despite travelling as a POST.
 func (c *Client) TopK(ctx context.Context, u vos.User, candidates []vos.User, n int) ([]vos.TopKResult, error) {
-	req := server.TopKRequest{User: uint64(u), N: n, Candidates: make([]uint64, len(candidates))}
+	return c.topK(ctx, u, candidates, n, 0)
+}
+
+// TopKAt is TopK asserting the query is about the instant at — the top-K
+// counterpart of SimilarityAt, carrying the request body's "at" field: a
+// sliding-window server answers from the live window only when at is
+// still inside it, errors.Is(err, vos.ErrOutsideWindow) reports an
+// instant whose edges have been retired, and an unwindowed server
+// rejects the assertion with a bad_request *Error.
+func (c *Client) TopKAt(ctx context.Context, u vos.User, candidates []vos.User, n int, at time.Time) ([]vos.TopKResult, error) {
+	return c.topK(ctx, u, candidates, n, float64(at.UnixNano())/1e9)
+}
+
+// topK is the shared body of TopK and TopKAt; at == 0 means no instant
+// assertion.
+func (c *Client) topK(ctx context.Context, u vos.User, candidates []vos.User, n int, at float64) ([]vos.TopKResult, error) {
+	req := server.TopKRequest{User: uint64(u), N: n, At: at, Candidates: make([]uint64, len(candidates))}
 	for i, cand := range candidates {
 		req.Candidates[i] = uint64(cand)
 	}

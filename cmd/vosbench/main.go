@@ -9,9 +9,11 @@
 //	vosbench -experiment all -scale 0.02 -csv
 //	vosbench -experiment throughput -shards 1,2,4,8
 //	vosbench -experiment query -json
+//	vosbench -experiment window -buckets 8 -json
 //
 // Experiments: fig2a, fig2b, fig3a, fig3b, fig3c, fig3d, abl-lambda,
-// abl-load, abl-dense, abl-delbias, compare, throughput, query, all.
+// abl-load, abl-dense, abl-delbias, compare, throughput, query, window,
+// all.
 //
 // The throughput experiment measures the sharded ingestion engine: for
 // each shard count it ingests the runtime workload through vos.Engine,
@@ -24,6 +26,12 @@
 // materialized path, the warm-cache steady state, and the engine's
 // parallel fan-out — each parity-checked against the per-bit oracle
 // before it is timed.
+//
+// The window experiment measures the sliding-window subsystem: bucket
+// rotation cost at growing fill levels (rotation is O(sketch), so the
+// cost must stay flat) and windowed-query accuracy against exact
+// in-window ground truth, parity-gated on the live window sketch being
+// bit-identical to a fresh sketch built from only the in-window edges.
 //
 // -json renders every table as a machine-readable JSON document (see
 // bench/ for the checked-in trajectory this feeds).
@@ -42,7 +50,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (fig2a fig2b fig3a fig3b fig3c fig3d abl-lambda abl-load abl-dense abl-delbias compare throughput query all)")
+		experiment = flag.String("experiment", "all", "experiment id (fig2a fig2b fig3a fig3b fig3c fig3d abl-lambda abl-load abl-dense abl-delbias compare throughput query window all)")
 		scale      = flag.Float64("scale", 0.01, "dataset profile scale factor (paper scale = 1.0)")
 		seed       = flag.Int64("seed", 2, "workload seed")
 		k32        = flag.Int("k", 100, "registers per user for the baselines (paper: 100)")
@@ -53,6 +61,7 @@ func main() {
 		runtimeKs  = flag.String("runtime-ks", "1,10,100,1000,10000", "comma-separated k sweep for fig2")
 		dataset    = flag.String("dataset", "YouTube", "profile for single-dataset experiments (YouTube, Flickr, Orkut, LiveJournal)")
 		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -experiment throughput")
+		buckets    = flag.Int("buckets", 8, "sliding-window bucket count for -experiment window")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of aligned text")
 		outdir     = flag.String("outdir", "", "also write each table as <outdir>/<id>.csv")
@@ -80,7 +89,7 @@ func main() {
 		fatal(err)
 	}
 
-	tables, err := runWithShards(*experiment, opts, shardCounts)
+	tables, err := runWithShards(*experiment, opts, shardCounts, *buckets)
 	if err != nil {
 		fatal(err)
 	}
@@ -120,11 +129,16 @@ func writeCSV(dir string, t *experiments.Table) error {
 	return f.Close()
 }
 
-// runWithShards dispatches experiments that need the shard-count sweep and
-// delegates everything else to run.
-func runWithShards(id string, opts experiments.Options, shardCounts []int) ([]*experiments.Table, error) {
-	if id == "throughput" {
+// runWithShards dispatches experiments that take extra topology knobs
+// (the shard-count sweep, the window bucket count) and delegates
+// everything else to run.
+func runWithShards(id string, opts experiments.Options, shardCounts []int, buckets int) ([]*experiments.Table, error) {
+	switch id {
+	case "throughput":
 		t, err := experiments.Throughput(opts, shardCounts)
+		return one(t, err)
+	case "window":
+		t, err := experiments.WindowExperiment(opts, buckets)
 		return one(t, err)
 	}
 	return run(id, opts)

@@ -35,7 +35,7 @@ func TestRunThroughput(t *testing.T) {
 		Seed: 3, K32: 8, Lambda: 2,
 		RuntimeUsers: 50, RuntimeEdges: 2_000,
 	}
-	tables, err := runWithShards("throughput", opts, []int{1, 2})
+	tables, err := runWithShards("throughput", opts, []int{1, 2}, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,9 +50,34 @@ func TestRunThroughput(t *testing.T) {
 			t.Fatalf("engine estimates diverged from sequential sketch: %v", row)
 		}
 	}
-	// Non-throughput ids must still dispatch through run.
-	if _, err := runWithShards("nope", opts, []int{1}); err == nil {
+	// Ids without topology knobs must still dispatch through run.
+	if _, err := runWithShards("nope", opts, []int{1}, 8); err == nil {
 		t.Error("unknown experiment accepted via runWithShards")
+	}
+}
+
+func TestRunWindow(t *testing.T) {
+	opts := experiments.Options{
+		Seed: 3, K32: 8, Lambda: 2,
+		RuntimeUsers: 50, RuntimeEdges: 2_000, MaxPairs: 40,
+	}
+	tables, err := runWithShards("window", opts, []int{1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ID != "window" {
+		t.Fatalf("tables = %v", tables)
+	}
+	// 3 rotation rows + parity row + 2 accuracy rows, window-parity-gated
+	// inside the runner.
+	if len(tables[0].Rows) != 6 {
+		t.Fatalf("want 6 rows, got %d: %v", len(tables[0].Rows), tables[0].Rows)
+	}
+	if tables[0].Rows[3][2] != "bit-identical" {
+		t.Fatalf("parity row = %v", tables[0].Rows[3])
+	}
+	if _, err := runWithShards("window", opts, []int{1}, 0); err == nil {
+		t.Error("window experiment accepted 0 buckets")
 	}
 }
 

@@ -9,6 +9,14 @@
 //	vosd -listen :8080 -dir /var/lib/vosd                 # durable
 //	vosd -listen :8080                                    # memory-only
 //	vosd -dir /var/lib/vosd -sync off -checkpoint-interval 30s
+//	vosd -listen :8080 -window 1h -buckets 60             # sliding window
+//
+// With -window the daemon serves sliding-window similarity: queries cover
+// only the last -window of stream time, advanced by the wall clock and by
+// timestamped ingest (the ts fields / X-Vos-Batch-Ts header of POST
+// /v1/edges), with older edges retired in O(sketch) per bucket rotation.
+// Checkpoints then persist per-bucket state, so -window and -buckets must
+// match the directory's previous life.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: readiness flips to 503,
 // in-flight requests finish (bounded by -drain-timeout), the listener
@@ -59,6 +67,9 @@ func run(args []string, stdout io.Writer) error {
 		maxLag     = fs.Uint64("snapshot-max-lag", 0, "query snapshot staleness budget in applied edges (0 = exact)")
 		cacheUsers = fs.Int("position-cache-users", 0, "position-table cache entries (0 = default 512, negative disables)")
 
+		window  = fs.Duration("window", 0, "sliding-window span: queries cover only the last this-much stream time (0 = retain everything)")
+		buckets = fs.Int("buckets", 60, "sliding-window bucket count; rotation granularity is window/buckets (requires -window)")
+
 		syncMode   = fs.String("sync", "batch", `WAL fsync policy: "batch", "interval", or "off"`)
 		syncEveryN = fs.Int("sync-every-n", 0, `edges between fsyncs under -sync interval (0 = default 4096)`)
 		segBytes   = fs.Int64("segment-bytes", 0, "WAL segment rotation threshold (0 = default 64 MiB)")
@@ -82,6 +93,20 @@ func run(args []string, stdout io.Writer) error {
 		FlushInterval:      *linger,
 		SnapshotMaxLag:     *maxLag,
 		PositionCacheUsers: *cacheUsers,
+	}
+	if *window > 0 {
+		if *buckets < 1 {
+			return fmt.Errorf("vosd: -buckets must be at least 1 (got %d)", *buckets)
+		}
+		if *window%time.Duration(*buckets) != 0 {
+			return fmt.Errorf("vosd: -window (%v) must be a multiple of -buckets (%d)", *window, *buckets)
+		}
+		cfg.Window = &vos.WindowConfig{
+			Buckets:        *buckets,
+			BucketDuration: *window / time.Duration(*buckets),
+		}
+	} else if *window < 0 {
+		return fmt.Errorf("vosd: -window must not be negative (got %v)", *window)
 	}
 	var eng *vos.Engine
 	var err error
@@ -129,8 +154,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(stdout, "vosd listening on http://%s (shards=%d, durable=%v)\n",
-		ln.Addr(), eng.Shards(), *dir != "")
+	windowDesc := "off"
+	if *window > 0 {
+		windowDesc = fmt.Sprintf("%v/%d buckets", *window, *buckets)
+	}
+	fmt.Fprintf(stdout, "vosd listening on http://%s (shards=%d, durable=%v, window=%s)\n",
+		ln.Addr(), eng.Shards(), *dir != "", windowDesc)
 
 	// Periodic checkpoints bound restart replay time; each one truncates
 	// the covered WAL prefix.

@@ -184,4 +184,55 @@ func TestVosdBadFlags(t *testing.T) {
 	if err := run([]string{"-dir", t.TempDir(), "-sync", "sometimes"}, &strings.Builder{}); err == nil {
 		t.Fatal("bad -sync value accepted")
 	}
+	if err := run([]string{"-window", "-1s"}, &strings.Builder{}); err == nil {
+		t.Fatal("negative -window accepted")
+	}
+	if err := run([]string{"-window", "1m", "-buckets", "0"}, &strings.Builder{}); err == nil {
+		t.Fatal("-buckets 0 accepted with -window")
+	}
+	if err := run([]string{"-window", "1s", "-buckets", "7"}, &strings.Builder{}); err == nil {
+		t.Fatal("-window not divisible by -buckets accepted")
+	}
+}
+
+// TestVosdWindowSmoke drives the real binary in sliding-window mode:
+// ingest, confirm the stats advertise the window, retire everything with
+// a far-future event timestamp, and confirm the state emptied.
+func TestVosdWindowSmoke(t *testing.T) {
+	bin := buildVosd(t)
+	url, stop := startVosd(t, bin, t.TempDir(), "-window", "1h", "-buckets", "4")
+	defer stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cl := client.New(url, client.Options{Linger: -1})
+	defer cl.Close()
+
+	if err := cl.Ingest(ctx, []vos.Edge{
+		{User: 1, Item: 10, Op: vos.Insert},
+		{User: 2, Item: 10, Op: vos.Insert},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WindowSeconds != 3600 || st.WindowBuckets != 4 {
+		t.Fatalf("stats window = (%v s, %d buckets), want (3600 s, 4)", st.WindowSeconds, st.WindowBuckets)
+	}
+	if card, err := cl.Cardinality(ctx, 1); err != nil || card != 1 {
+		t.Fatalf("cardinality = %d, %v; want 1", card, err)
+	}
+
+	// Event time a day ahead retires the whole window.
+	if err := cl.AdvanceWindow(ctx, time.Now().Add(24*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if card, err := cl.Cardinality(ctx, 1); err != nil || card != 0 {
+		t.Fatalf("cardinality after aging out = %d, %v; want 0", card, err)
+	}
 }

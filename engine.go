@@ -18,6 +18,14 @@ import (
 // shared sketch with reader/writer locking, see ConcurrentSketch; for the
 // offline equivalent, see PartitionByUser plus Sketch.Merge.
 //
+// All methods are safe for concurrent use, with one lifecycle rule: no
+// Process/ProcessBatch call may start after Close has begun. Once Close
+// begins, writes and the context-aware query methods return
+// ErrEngineClosed; Engine.QueryLocal additionally answers typed
+// ErrQueryUnavailable (checkpoint-recovered engines) and
+// ErrNotCoResident (users on different shards) instead of silent zero
+// estimates.
+//
 // See internal/engine for the full model.
 type Engine = engine.Engine
 
@@ -27,7 +35,9 @@ type Engine = engine.Engine
 // select defaults (Shards = GOMAXPROCS, BatchSize = 256, QueueSize = 8192
 // edges, FlushInterval = 50ms, SnapshotMaxLag = 0 i.e. exact queries,
 // PositionCacheUsers = 512; set PositionCacheUsers negative to disable
-// position caching).
+// position caching). Setting Window puts the engine in sliding-window
+// mode (see WindowConfig); setting Durability makes it durable (see
+// DurabilityConfig) — the two compose.
 type EngineConfig = engine.Config
 
 // PositionCacheStats is a counter snapshot (hits, misses, evictions, fill)

@@ -2,6 +2,7 @@ package vos_test
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/vossketch/vos"
 )
@@ -113,6 +114,36 @@ func ExampleNewPairMonitor() {
 		top.U, top.V, int(top.Common))
 	// Output:
 	// most similar: (1, 2) with 2 common items
+}
+
+// Sliding-window similarity: edges land in the current time bucket,
+// queries cover only the live window, and rotating retires the oldest
+// bucket in O(sketch) — here a tumbling two-bucket window forgets the
+// first bucket's subscriptions while keeping the second's.
+func ExampleNewWindowed() {
+	w, err := vos.NewWindowedAt(
+		vos.Config{MemoryBits: 1 << 16, SketchBits: 512, Seed: 42},
+		2, time.Minute, time.Unix(60, 0), // two 1-minute buckets
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	// Minute one: alice and bob both pick up item 7.
+	w.Process(vos.Edge{User: 1, Item: 7, Op: vos.Insert})
+	w.Process(vos.Edge{User: 2, Item: 7, Op: vos.Insert})
+	fmt.Printf("minute 1: common=%.0f\n", w.Query(1, 2).CommonClamped)
+
+	// Two minutes later the shared pick has aged out of the window; only
+	// bob's fresh subscription from minute two survives.
+	w.AdvanceTo(time.Unix(61, 0))
+	w.Process(vos.Edge{User: 2, Item: 9, Op: vos.Insert})
+	w.AdvanceTo(time.Unix(121, 0))
+	fmt.Printf("minute 3: common=%.0f, bob still holds %d item\n",
+		w.Query(1, 2).CommonClamped, w.Cardinality(2))
+	// Output:
+	// minute 1: common=1
+	// minute 3: common=0, bob still holds 1 item
 }
 
 // String identifiers map into the key space with stable hashes.

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"testing"
+	"time"
 
 	"github.com/vossketch/vos/internal/stream"
 )
@@ -48,6 +50,66 @@ func FuzzUnmarshalVOS(f *testing.F) {
 		}
 		if again.Config() != got.Config() || again.Stats() != got.Stats() {
 			t.Fatal("round trip changed sketch state")
+		}
+	})
+}
+
+// FuzzUnmarshalWindow throws arbitrary bytes at the window decoder with
+// the same contract as FuzzUnmarshalVOS: no panics, typed ErrCorrupt on
+// anything invalid, and bit-exact round trips for anything accepted —
+// including the rebuilt merged view, which is not serialized and must be
+// reconstructible from the buckets alone.
+func FuzzUnmarshalWindow(f *testing.F) {
+	w, err := NewWindowAt(Config{MemoryBits: 1024, SketchBits: 64, Seed: 3}, 3, time.Second, time.Unix(3, 0))
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.Process(edgeFor(1, 2, true))
+	w.Rotate()
+	w.Process(edgeFor(2, 3, true))
+	seed, _ := w.MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte("VWN1"))
+	// Truncations at the header fields, the first bucket length prefix,
+	// and mid-bucket, plus bit flips in the bucket count and a bucket
+	// payload — the shapes a torn checkpoint write produces.
+	for _, cut := range []int{3, 4, 12, 20, 28, 36, len(seed) - 1} {
+		if cut >= 0 && cut < len(seed) {
+			f.Add(seed[:cut])
+		}
+	}
+	for _, bit := range []int{20, 40} {
+		if bit < len(seed) {
+			flipped := append([]byte(nil), seed...)
+			flipped[bit] ^= 0x04
+			f.Add(flipped)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalWindow(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-ErrCorrupt decode failure: %v", err)
+			}
+			return
+		}
+		re, err := got.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted window failed: %v", err)
+		}
+		again, err := UnmarshalWindow(re)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if again.Stats() != got.Stats() || !again.End().Equal(got.End()) {
+			t.Fatal("round trip changed window state")
+		}
+		gm, _ := got.Merged().MarshalBinary()
+		am, _ := again.Merged().MarshalBinary()
+		if !bytes.Equal(gm, am) {
+			t.Fatal("round trip changed the rebuilt merged view")
 		}
 	})
 }

@@ -198,23 +198,31 @@ func (v *VOS) Process(e stream.Edge) {
 	v.version++ // invalidates every cached recovered sketch
 	j := v.slot(e.Item)
 	v.arr.Flip(v.position(e.User, j))
-	d := int64(1)
-	if e.Op != stream.Insert {
-		d = -1
+	v.bump(e.User, opDelta(e.Op))
+}
+
+// opDelta maps an action onto its cardinality delta.
+func opDelta(op stream.Op) int64 {
+	if op == stream.Insert {
+		return 1
 	}
-	// A user whose subscriptions all cancelled out holds no sketch state
-	// at all; dropping the counter entry keeps memory proportional to
-	// active users on long-running streams. The prune fires on both ops so
-	// sketch state is fully order-independent: under sharded ingestion a
-	// user's delete may be applied before the matching insert (counter
-	// goes -1 then back to 0), and the insert must erase the entry too.
-	// One map lookup, then one store or delete — `v.card[e.User] += d`
-	// followed by a zero check would traverse the map a second time on
-	// every edge of the hot ingest loop.
-	if c := v.card[e.User] + d; c == 0 {
-		delete(v.card, e.User)
+	return -1
+}
+
+// bump adjusts n_u by d. A user whose subscriptions all cancelled out
+// holds no sketch state at all; dropping the counter entry keeps memory
+// proportional to active users on long-running streams. The prune fires on
+// both ops so sketch state is fully order-independent: under sharded
+// ingestion a user's delete may be applied before the matching insert
+// (counter goes -1 then back to 0), and the insert must erase the entry
+// too. One map lookup, then one store or delete — `v.card[u] += d`
+// followed by a zero check would traverse the map a second time on every
+// edge of the hot ingest loop.
+func (v *VOS) bump(u stream.User, d int64) {
+	if c := v.card[u] + d; c == 0 {
+		delete(v.card, u)
 	} else {
-		v.card[e.User] = c
+		v.card[u] = c
 	}
 }
 
@@ -391,6 +399,35 @@ func (v *VOS) Merge(other *VOS) error {
 	return nil
 }
 
+// Unmerge removes other's contribution from v — the inverse of Merge. XOR
+// is self-inverse, so the shared arrays XOR exactly as in Merge while the
+// cardinality counters subtract; after v.Merge(o) followed by v.Unmerge(o),
+// v is bit-identical to its state before the Merge. This is the O(sketch)
+// primitive behind sliding windows: re-XORing a retired time bucket out of
+// the merged view deletes every edge it absorbed at once, with no per-edge
+// bookkeeping (see Window).
+func (v *VOS) Unmerge(other *VOS) error {
+	if v.cfg != other.cfg {
+		return fmt.Errorf("core: cannot unmerge sketches with different configs (%+v vs %+v)",
+			v.cfg, other.cfg)
+	}
+	v.version++ // invalidates every cached recovered sketch
+	v.arr.Xor(other.arr)
+	for u, c := range other.card {
+		v.bump(u, -c)
+	}
+	return nil
+}
+
+// Reset returns the sketch to its empty state in place, keeping the
+// configuration, the allocated array, and any attached caches (recovered-
+// sketch cache entries are version-stamped, so the reset invalidates them).
+func (v *VOS) Reset() {
+	v.version++
+	v.arr.Reset()
+	clear(v.card)
+}
+
 // BiasApprox returns the analytic approximation of E[ŝ] − s at symmetric
 // difference nDelta under the current array load β.
 //
@@ -433,6 +470,13 @@ type Stats struct {
 	Beta        float64
 	Users       int
 	MemoryBytes uint64
+
+	// WindowSeconds and WindowBuckets describe the sliding window when the
+	// state comes from a windowed sketch or engine: the window span
+	// B·bucketDuration in seconds and the bucket count B. Both are zero on
+	// an unwindowed (append-forever) sketch.
+	WindowSeconds float64
+	WindowBuckets int
 }
 
 // Stats returns a snapshot of the sketch's state.

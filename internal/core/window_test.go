@@ -1,0 +1,285 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/vossketch/vos/internal/stream"
+)
+
+var winTestCfg = Config{MemoryBits: 1 << 14, SketchBits: 256, Seed: 7}
+
+func winEdge(r *rand.Rand) stream.Edge {
+	op := stream.Insert
+	if r.Intn(4) == 0 {
+		op = stream.Delete
+	}
+	return stream.Edge{
+		User: stream.User(r.Intn(50)),
+		Item: stream.Item(r.Intn(500)),
+		Op:   op,
+	}
+}
+
+// mustEqualSketchBytes asserts the two sketches serialize to identical
+// bytes — the window-parity bar: same array, same counters, same config.
+func mustEqualSketchBytes(t *testing.T, got, want *VOS, msg string) {
+	t.Helper()
+	gb, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatalf("%s: marshal got: %v", msg, err)
+	}
+	wb, err := want.MarshalBinary()
+	if err != nil {
+		t.Fatalf("%s: marshal want: %v", msg, err)
+	}
+	if !bytes.Equal(gb, wb) {
+		t.Fatalf("%s: window sketch bytes diverge from fresh in-window sketch (%d vs %d bytes)",
+			msg, len(gb), len(wb))
+	}
+}
+
+// TestWindowParity is the tentpole property: after any sequence of ingests
+// and rotations, the live window sketch is bit-identical (serialized
+// bytes) to a fresh sketch built from only the in-window edges.
+func TestWindowParity(t *testing.T) {
+	for _, buckets := range []int{1, 2, 3, 8} {
+		r := rand.New(rand.NewSource(int64(buckets)))
+		w, err := NewWindowAt(winTestCfg, buckets, time.Second, time.Unix(1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// inWindow[k] holds the edges of the k-th live bucket slot.
+		inWindow := make([][]stream.Edge, buckets)
+		for round := 0; round < 6*buckets; round++ {
+			for i := 0; i < 200; i++ {
+				e := winEdge(r)
+				w.Process(e)
+				inWindow[buckets-1] = append(inWindow[buckets-1], e)
+			}
+			fresh := MustNew(winTestCfg)
+			for _, be := range inWindow {
+				for _, e := range be {
+					fresh.Process(e)
+				}
+			}
+			mustEqualSketchBytes(t, w.Merged(), fresh, "B="+string(rune('0'+buckets)))
+
+			w.Rotate()
+			copy(inWindow, inWindow[1:])
+			inWindow[buckets-1] = nil
+		}
+		if w.Rotations() != uint64(6*buckets) {
+			t.Fatalf("rotations = %d, want %d", w.Rotations(), 6*buckets)
+		}
+	}
+}
+
+// TestWindowTumbling pins B=1 semantics: each rotation forgets everything.
+func TestWindowTumbling(t *testing.T) {
+	w, err := NewWindowAt(winTestCfg, 1, time.Second, time.Unix(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		w.Process(winEdge(r))
+	}
+	if w.Merged().Stats().OnesCount == 0 {
+		t.Fatal("expected a loaded array before rotation")
+	}
+	w.Rotate()
+	st := w.Merged().Stats()
+	if st.OnesCount != 0 || st.Users != 0 {
+		t.Fatalf("tumbling rotation should clear everything, got ones=%d users=%d", st.OnesCount, st.Users)
+	}
+	mustEqualSketchBytes(t, w.Merged(), MustNew(winTestCfg), "post-tumble")
+}
+
+func TestWindowAdvanceTo(t *testing.T) {
+	w, err := NewWindow(winTestCfg, 4, time.Second, time.Unix(10, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch alignment: the current bucket covering t=10.0000005s ends at 11s.
+	if got := w.End(); !got.Equal(time.Unix(11, 0)) {
+		t.Fatalf("aligned end = %v, want 11s", got)
+	}
+	// Clock skew: an instant before the current end never moves the window.
+	if n := w.AdvanceTo(time.Unix(10, 999)); n != 0 {
+		t.Fatalf("backwards advance rotated %d times", n)
+	}
+	if n := w.AdvanceTo(time.Unix(1, 0)); n != 0 {
+		t.Fatalf("pre-window advance rotated %d times", n)
+	}
+	// Crossing one boundary rotates once.
+	if n := w.AdvanceTo(time.Unix(11, 0)); n != 1 {
+		t.Fatalf("advance to end rotated %d times, want 1", n)
+	}
+	if got := w.End(); !got.Equal(time.Unix(12, 0)) {
+		t.Fatalf("end after advance = %v, want 12s", got)
+	}
+	// A gap much longer than the window: boundary count is reported in
+	// full, physical rotations are capped at B, and the clock lands on the
+	// right boundary.
+	w.Process(stream.Edge{User: 1, Item: 2, Op: stream.Insert})
+	if n := w.AdvanceTo(time.Unix(1000, 1)); n != 989 {
+		t.Fatalf("long-gap advance reported %d boundaries, want 989", n)
+	}
+	if got := w.End(); !got.Equal(time.Unix(1001, 0)) {
+		t.Fatalf("end after long gap = %v, want 1001s", got)
+	}
+	if st := w.Merged().Stats(); st.OnesCount != 0 || st.Users != 0 {
+		t.Fatalf("long-gap advance should clear the window, got ones=%d users=%d", st.OnesCount, st.Users)
+	}
+}
+
+func TestWindowMarshalRoundTrip(t *testing.T) {
+	w, err := NewWindowAt(winTestCfg, 3, 2*time.Second, time.Unix(6, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 150; i++ {
+			w.Process(winEdge(r))
+		}
+		w.Rotate()
+	}
+	for i := 0; i < 70; i++ {
+		w.Process(winEdge(r)) // current bucket partially filled
+	}
+	data, err := w.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsWindowData(data) {
+		t.Fatal("serialized window not recognised by IsWindowData")
+	}
+	got, err := UnmarshalWindow(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Buckets() != 3 || got.BucketDuration() != 2*time.Second || !got.End().Equal(w.End()) {
+		t.Fatalf("round-trip metadata mismatch: B=%d d=%v end=%v", got.Buckets(), got.BucketDuration(), got.End())
+	}
+	mustEqualSketchBytes(t, got.Merged(), w.Merged(), "round-trip merged view")
+	for k := 0; k < 3; k++ {
+		mustEqualSketchBytes(t, got.Bucket(k), w.Bucket(k), "round-trip bucket")
+	}
+	// The restored window must keep rotating correctly.
+	got.Rotate()
+	w.Rotate()
+	mustEqualSketchBytes(t, got.Merged(), w.Merged(), "post-round-trip rotation")
+}
+
+func TestWindowMarshalRejectsCorrupt(t *testing.T) {
+	w, _ := NewWindowAt(winTestCfg, 2, time.Second, time.Unix(2, 0))
+	w.Process(stream.Edge{User: 1, Item: 1, Op: stream.Insert})
+	data, err := w.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XXXX"), data[4:]...),
+		"truncated": data[:len(data)-3],
+		"trailing":  append(append([]byte{}, data...), 0),
+	}
+	for name, c := range cases {
+		if _, err := UnmarshalWindow(c); err == nil {
+			t.Errorf("%s: UnmarshalWindow accepted corrupt input", name)
+		}
+	}
+	if _, err := UnmarshalVOS(data); err == nil {
+		t.Error("UnmarshalVOS accepted window bytes")
+	}
+}
+
+// TestWindowUnmarshalHostileBucketCount: a header claiming a huge bucket
+// count alongside one valid bucket must fail with ErrCorrupt on the
+// missing payload — allocation stays proportional to the input, the same
+// hostile-header contract UnmarshalVOS enforces one layer down.
+func TestWindowUnmarshalHostileBucketCount(t *testing.T) {
+	w, err := NewWindowAt(winTestCfg, 1, time.Second, time.Unix(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Process(stream.Edge{User: 1, Item: 2, Op: stream.Insert})
+	data, err := w.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nb lives after the 4-byte magic + bucketNS + endNS.
+	forged := append([]byte{}, data...)
+	binary.LittleEndian.PutUint64(forged[4+8+8:], uint64(len(data))/8) // largest nb the plausibility bound admits
+	if _, err := UnmarshalWindow(forged); err == nil {
+		t.Fatal("hostile bucket count accepted")
+	}
+	// Mismatched bucket configs must also be rejected: two valid buckets
+	// serialized with different seeds cannot form one window.
+	other := MustNew(Config{MemoryBits: winTestCfg.MemoryBits, SketchBits: winTestCfg.SketchBits, Seed: 99})
+	ob, _ := other.MarshalBinary()
+	wb, _ := w.Bucket(0).MarshalBinary()
+	var buf []byte
+	buf = append(buf, data[:4+8+8]...)
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], 2)
+	buf = append(buf, scratch[:]...)
+	for _, b := range [][]byte{wb, ob} {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(len(b)))
+		buf = append(buf, scratch[:]...)
+		buf = append(buf, b...)
+	}
+	if _, err := UnmarshalWindow(buf); err == nil {
+		t.Fatal("window with mismatched bucket configs accepted")
+	}
+}
+
+func TestUnmerge(t *testing.T) {
+	a := MustNew(winTestCfg)
+	b := MustNew(winTestCfg)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		a.Process(winEdge(r))
+	}
+	before, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		b.Process(winEdge(r))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Unmerge(b); err != nil {
+		t.Fatal(err)
+	}
+	after, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("Merge followed by Unmerge did not restore the sketch")
+	}
+	other := MustNew(Config{MemoryBits: 1 << 10, SketchBits: 64, Seed: 7})
+	if err := a.Unmerge(other); err == nil {
+		t.Fatal("Unmerge accepted a mismatched config")
+	}
+}
+
+func TestWindowConstructorValidation(t *testing.T) {
+	if _, err := NewWindow(winTestCfg, 0, time.Second, time.Unix(0, 0)); err == nil {
+		t.Error("accepted 0 buckets")
+	}
+	if _, err := NewWindow(winTestCfg, 4, 0, time.Unix(0, 0)); err == nil {
+		t.Error("accepted zero bucket duration")
+	}
+	if _, err := NewWindow(Config{}, 4, time.Second, time.Unix(0, 0)); err == nil {
+		t.Error("accepted invalid sketch config")
+	}
+}

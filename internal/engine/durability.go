@@ -81,15 +81,43 @@ func Open(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A checkpoint is either a plain merged sketch (unwindowed engines) or
+	// a serialized bucket ring (windowed engines, which must keep rotating
+	// after recovery — a pre-merged sketch cannot be un-merged per bucket).
+	// The two modes must not open each other's state: silently flattening
+	// a window would stop edges from ever expiring, and silently windowing
+	// a flat sketch would expire edges that were never bucketed.
 	var base *core.VOS
+	var winBase *core.Window
 	if found {
-		base, err = core.UnmarshalVOS(skBytes)
-		if err != nil {
-			return nil, fmt.Errorf("engine: load checkpoint: %w", err)
-		}
-		if base.Config() != cfg.Sketch {
-			return nil, fmt.Errorf("engine: checkpoint sketch config %+v does not match engine config %+v",
-				base.Config(), cfg.Sketch)
+		switch {
+		case core.IsWindowData(skBytes):
+			if cfg.Window == nil {
+				return nil, fmt.Errorf("engine: directory holds a windowed checkpoint but Config.Window is nil")
+			}
+			winBase, err = core.UnmarshalWindow(skBytes)
+			if err != nil {
+				return nil, fmt.Errorf("engine: load windowed checkpoint: %w", err)
+			}
+			if winBase.Config() != cfg.Sketch {
+				return nil, fmt.Errorf("engine: checkpoint sketch config %+v does not match engine config %+v",
+					winBase.Config(), cfg.Sketch)
+			}
+			if winBase.Buckets() != cfg.Window.Buckets || winBase.BucketDuration() != cfg.Window.BucketDuration {
+				return nil, fmt.Errorf("engine: checkpoint window (B=%d, bucket=%v) does not match engine config (B=%d, bucket=%v)",
+					winBase.Buckets(), winBase.BucketDuration(), cfg.Window.Buckets, cfg.Window.BucketDuration)
+			}
+		case cfg.Window != nil:
+			return nil, fmt.Errorf("engine: directory holds an unwindowed checkpoint but Config.Window is set")
+		default:
+			base, err = core.UnmarshalVOS(skBytes)
+			if err != nil {
+				return nil, fmt.Errorf("engine: load checkpoint: %w", err)
+			}
+			if base.Config() != cfg.Sketch {
+				return nil, fmt.Errorf("engine: checkpoint sketch config %+v does not match engine config %+v",
+					base.Config(), cfg.Sketch)
+			}
 		}
 	}
 	log, err := wal.Open(d.Dir, d.walOptions())
@@ -111,6 +139,38 @@ func Open(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e.base = base
+	if winBase != nil {
+		// Re-align the fresh shard rings to the persisted bucket boundaries
+		// so the recovered base and the shards rotate in lockstep. The swap
+		// happens before any producer exists; skMu is held for the race
+		// detector's benefit only.
+		end := winBase.End()
+		for _, s := range e.shards {
+			win, werr := core.NewWindowAt(cfg.Sketch, cfg.Window.Buckets, cfg.Window.BucketDuration, end)
+			if werr != nil {
+				e.Close()
+				log.Close()
+				return nil, werr
+			}
+			s.skMu.Lock()
+			s.win = win
+			s.sk = win.Merged()
+			s.sk.SetPositionCache(e.pcache)
+			s.skMu.Unlock()
+		}
+		e.winEnd.Store(end.UnixNano())
+		e.winBase = winBase
+		// Rotation events are not WAL-logged, so the exact bucket each
+		// post-checkpoint edge landed in is unrecoverable. Catch the rings
+		// up to the present BEFORE replay, so the replayed suffix lands in
+		// the bucket covering now: edges are then attributed no older than
+		// they really are and can only retire LATE (by at most the
+		// checkpoint-to-crash gap), never early — recovery must not
+		// silently drop edges that are still inside the window. With a
+		// clock behind the checkpoint boundary (tests pin one) this is a
+		// no-op and attribution is exact.
+		e.AdvanceWindowTo(e.winNow())
+	}
 	// Replay the suffix through the routing path directly — the log is not
 	// attached yet, so replayed edges are not re-appended.
 	err = log.Replay(ckptPos, func(_ uint64, edges []stream.Edge) error {
@@ -162,9 +222,24 @@ func (e *Engine) checkpointLocked() (uint64, error) {
 		return 0, err
 	}
 	e.Flush()
-	data, err := e.snapshotMaxLag(0).MarshalBinary()
-	if err != nil {
-		return 0, err
+	var data []byte
+	if e.cfg.Window != nil {
+		// Persist the bucket ring, not the flattened view: recovery must
+		// keep retiring buckets on schedule, which needs per-bucket state.
+		w, err := e.windowSnapshot()
+		if err != nil {
+			return 0, err
+		}
+		data, err = w.MarshalBinary()
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		var err error
+		data, err = e.snapshotMaxLag(0).MarshalBinary()
+		if err != nil {
+			return 0, err
+		}
 	}
 	if err := wal.WriteCheckpoint(e.cfg.Durability.Dir, pos, data); err != nil {
 		return 0, err

@@ -117,6 +117,15 @@ type Config struct {
 	// recovers an engine from the directory. New with Durability set
 	// behaves exactly like Open.
 	Durability *DurabilityConfig
+
+	// Window, when non-nil, puts the engine in sliding-window mode: each
+	// shard keeps a ring of Window.Buckets time-bucketed sub-sketches,
+	// queries answer over the last Buckets·BucketDuration of stream time,
+	// and older edges are retired in O(sketch) per bucket rotation (see
+	// window.go). Checkpoints then persist per-bucket state so recovery
+	// keeps rotating correctly; a windowed engine cannot open an
+	// unwindowed checkpoint directory or vice versa.
+	Window *WindowConfig
 }
 
 // withDefaults resolves zero fields.
@@ -154,10 +163,17 @@ type shard struct {
 	// ch carries full batches to the worker goroutine.
 	ch chan []stream.Edge
 
-	// skMu guards sk: the worker writes under Lock, queries and merges
-	// read under RLock.
+	// skMu guards sk (and win): the worker writes under Lock, queries and
+	// merges read under RLock, and window rotation mutates under Lock
+	// (always acquired after the engine's winMu — see window.go).
 	skMu sync.RWMutex
 	sk   *core.VOS
+
+	// win is the shard's bucket ring in sliding-window mode (nil
+	// otherwise). sk then aliases win.Merged() — the stable live view —
+	// so every read path works unchanged; only the worker's write path
+	// branches, landing edges in the current bucket as well.
+	win *core.Window
 
 	// enqueued counts edges accepted by Process/ProcessBatch for this
 	// shard (including edges still pending or queued); processed counts
@@ -188,9 +204,10 @@ type Engine struct {
 	// snapMu guards the merged query snapshot. snap is immutable once
 	// published: rebuilds create a fresh sketch, so callers may keep
 	// reading a superseded snapshot safely.
-	snapMu sync.Mutex
-	snap   *core.VOS
-	snapAt []uint64 // per-shard processed counts captured at merge time
+	snapMu  sync.Mutex
+	snap    *core.VOS
+	snapAt  []uint64 // per-shard processed counts captured at merge time
+	snapRot uint64   // winRot captured at merge time; rotation forces a rebuild
 
 	// pcache is the shared position-table cache (nil when disabled):
 	// position tables depend only on user and sketch Config, so one cache
@@ -209,6 +226,23 @@ type Engine struct {
 	log   *wal.Log
 	walMu sync.RWMutex
 	base  *core.VOS
+
+	// Sliding-window state (zero on unwindowed engines — see window.go).
+	// winMu orders rotation against multi-shard reads: AdvanceWindowTo
+	// holds Lock while it rotates every shard, snapshot and checkpoint
+	// building hold RLock across their whole merge loop, so neither ever
+	// straddles a rotation. Lock order: winMu before any shard's skMu.
+	// winEnd mirrors the shards' current bucket end (unix ns) for the
+	// lock-free has-anything-expired check; winRot counts rotations and
+	// stamps query snapshots, so a rotation invalidates the cached
+	// snapshot without touching snapMu (avoiding a winMu/snapMu cycle).
+	// winBase is the rotating window recovered from a windowed checkpoint
+	// — unlike base it is NOT frozen: its buckets retire in lockstep with
+	// the shards', guarded by winMu.
+	winMu   sync.RWMutex
+	winEnd  atomic.Int64
+	winRot  atomic.Uint64
+	winBase *core.Window
 }
 
 // New creates and starts an Engine. The configuration is validated the
@@ -224,6 +258,9 @@ func New(cfg Config) (*Engine, error) {
 // newEngine builds a memory-only engine from a resolved config; Open
 // attaches the durability state afterwards.
 func newEngine(cfg Config) (*Engine, error) {
+	if err := validateWindow(cfg.Window); err != nil {
+		return nil, err
+	}
 	batches := (cfg.QueueSize + cfg.BatchSize - 1) / cfg.BatchSize
 	e := &Engine{
 		cfg:    cfg,
@@ -235,19 +272,35 @@ func newEngine(cfg Config) (*Engine, error) {
 	if cfg.PositionCacheUsers > 0 {
 		e.pcache = poscache.New(cfg.PositionCacheUsers)
 	}
+	// In window mode every shard ring is created from the same instant, so
+	// the epoch-aligned boundaries agree and rotation stays in lockstep.
+	var winStart time.Time
+	if cfg.Window != nil {
+		winStart = e.winNow()
+	}
 	for i := range e.shards {
-		sk, err := core.New(cfg.Sketch)
-		if err != nil {
-			return nil, err
+		s := &shard{ch: make(chan []stream.Edge, batches)}
+		if cfg.Window != nil {
+			win, err := core.NewWindow(cfg.Sketch, cfg.Window.Buckets, cfg.Window.BucketDuration, winStart)
+			if err != nil {
+				return nil, err
+			}
+			s.win = win
+			s.sk = win.Merged()
+		} else {
+			sk, err := core.New(cfg.Sketch)
+			if err != nil {
+				return nil, err
+			}
+			s.sk = sk
 		}
-		sk.SetPositionCache(e.pcache) // shared: positions are config-pure
-		s := &shard{
-			ch: make(chan []stream.Edge, batches),
-			sk: sk,
-		}
+		s.sk.SetPositionCache(e.pcache) // shared: positions are config-pure
 		e.shards[i] = s
 		e.wg.Add(1)
 		go e.worker(s)
+	}
+	if cfg.Window != nil {
+		e.winEnd.Store(e.shards[0].win.End().UnixNano())
 	}
 	if cfg.FlushInterval > 0 {
 		e.wg.Add(1)
@@ -287,8 +340,14 @@ func (e *Engine) worker(s *shard) {
 	defer e.wg.Done()
 	for batch := range s.ch {
 		s.skMu.Lock()
-		for _, ed := range batch {
-			s.sk.Process(ed)
+		if s.win != nil {
+			for _, ed := range batch {
+				s.win.Process(ed) // current bucket + live merged view
+			}
+		} else {
+			for _, ed := range batch {
+				s.sk.Process(ed)
+			}
 		}
 		s.processed.Add(uint64(len(batch)))
 		s.skMu.Unlock()
@@ -306,6 +365,9 @@ func (e *Engine) linger() {
 		case <-e.stop:
 			return
 		case <-t.C:
+			// Rotate first so an idle stream still retires buckets on wall
+			// time (no lifeMu needed: rotation is winMu/skMu territory).
+			e.maybeAdvance()
 			e.lifeMu.RLock()
 			if !e.closed.Load() {
 				for _, s := range e.shards {
@@ -363,6 +425,10 @@ func (s *shard) add(edges []stream.Edge, batchSize int) {
 // durable engine the edge is WAL-appended — durable per the sync policy —
 // before Process returns; an append error means the edge was not accepted.
 func (e *Engine) Process(ed stream.Edge) error {
+	// Retire expired buckets before accepting new work (one atomic load on
+	// the fast path; no-op unwindowed). Done before the locks below so the
+	// rotation path never nests inside walMu.
+	e.maybeAdvance()
 	// The read lock makes "check closed, append, hand to shards" atomic
 	// with respect to Close's channel teardown — see lifeMu.
 	e.lifeMu.RLock()
@@ -388,6 +454,7 @@ func (e *Engine) Process(ed stream.Edge) error {
 // also the efficient one, since the whole slice becomes one WAL record
 // (and, under SyncEveryBatch, one fsync).
 func (e *Engine) ProcessBatch(edges []stream.Edge) error {
+	e.maybeAdvance() // see Process
 	e.lifeMu.RLock() // see Process
 	defer e.lifeMu.RUnlock()
 	if e.closed.Load() {
@@ -518,7 +585,11 @@ func (e *Engine) snapshot() *core.VOS {
 func (e *Engine) snapshotMaxLag(maxLag uint64) *core.VOS {
 	e.snapMu.Lock()
 	defer e.snapMu.Unlock()
-	if e.snap != nil {
+	rot := e.winRot.Load()
+	if e.snap != nil && e.snapRot == rot {
+		// A rotation changes shard state without advancing any processed
+		// counter, so the rotation stamp must match before the lag check
+		// can vouch for the cached snapshot.
 		lag := uint64(0)
 		for i, s := range e.shards {
 			lag += s.processed.Load() - e.snapAt[i]
@@ -527,6 +598,14 @@ func (e *Engine) snapshotMaxLag(maxLag uint64) *core.VOS {
 			return e.snap
 		}
 	}
+	// In window mode, hold the window read-lock across the whole merge
+	// loop so the snapshot never observes shard A pre-rotation and shard B
+	// post-rotation (winMu before skMu — see window.go).
+	if e.cfg.Window != nil {
+		e.winMu.RLock()
+		defer e.winMu.RUnlock()
+		rot = e.winRot.Load() // re-read now that rotation is excluded
+	}
 	merged := core.MustNew(e.cfg.Sketch)
 	merged.SetPositionCache(e.pcache) // tables survive snapshot rebuilds
 	if e.base != nil {
@@ -534,6 +613,12 @@ func (e *Engine) snapshotMaxLag(maxLag uint64) *core.VOS {
 		// Open's validation, so the merge cannot fail.
 		if err := merged.Merge(e.base); err != nil {
 			panic(fmt.Sprintf("engine: base merge failed: %v", err))
+		}
+	}
+	if e.winBase != nil {
+		// The recovered window base rotates under winMu, which we hold.
+		if err := merged.Merge(e.winBase.Merged()); err != nil {
+			panic(fmt.Sprintf("engine: window base merge failed: %v", err))
 		}
 	}
 	for i, s := range e.shards {
@@ -547,6 +632,7 @@ func (e *Engine) snapshotMaxLag(maxLag uint64) *core.VOS {
 		}
 	}
 	e.snap = merged
+	e.snapRot = rot
 	return merged
 }
 
@@ -556,12 +642,14 @@ func (e *Engine) snapshotMaxLag(maxLag uint64) *core.VOS {
 // still in flight. A post-Flush Query is bit-identical to a single
 // vos.Sketch that consumed the whole stream with the same Config.
 func (e *Engine) Query(u, v stream.User) core.Estimate {
+	e.maybeAdvance()
 	return e.snapshot().Query(u, v)
 }
 
 // QueryMany estimates u against every candidate in one pass over the
 // merged snapshot (see core.VOS.QueryMany).
 func (e *Engine) QueryMany(u stream.User, candidates []stream.User) []core.Estimate {
+	e.maybeAdvance()
 	return e.snapshot().QueryMany(u, candidates)
 }
 
@@ -601,6 +689,7 @@ func (e *Engine) TopKContext(ctx context.Context, u stream.User, candidates []st
 
 // topK is the shared body of TopK and TopKContext: snapshot, fan out, merge.
 func (e *Engine) topK(ctx context.Context, u stream.User, candidates []stream.User, n int) ([]core.TopKResult, error) {
+	e.maybeAdvance()
 	snap := e.snapshot()
 	// Below ~2 full ranges the goroutine and merge overhead outweighs the
 	// fan-out; answer sequentially.
@@ -673,9 +762,10 @@ func (e *Engine) QueryLocal(u, v stream.User) (core.Estimate, error) {
 	if e.closed.Load() {
 		return core.Estimate{}, ErrClosed
 	}
-	if e.base != nil {
+	if e.base != nil || e.winBase != nil {
 		return core.Estimate{}, fmt.Errorf("%w: pre-checkpoint state lives in the recovery base, not in any shard", ErrQueryUnavailable)
 	}
+	e.maybeAdvance()
 	su, sv := e.ShardOf(u), e.ShardOf(v)
 	if su != sv {
 		return core.Estimate{}, fmt.Errorf("%w: user %d is on shard %d, user %d on shard %d", ErrNotCoResident, u, su, v, sv)
@@ -698,6 +788,7 @@ func (e *Engine) QueryContext(ctx context.Context, u, v stream.User) (core.Estim
 	if err := ctx.Err(); err != nil {
 		return core.Estimate{}, err
 	}
+	e.maybeAdvance()
 	return e.snapshot().Query(u, v), nil
 }
 
@@ -723,10 +814,18 @@ func (e *Engine) StatsContext(ctx context.Context) (core.Stats, error) {
 	return e.Stats(), nil
 }
 
-// Cardinality returns n_u over applied edges. A user's post-checkpoint
-// state lives only in its owning shard, so this reads one shard (plus the
-// frozen recovery base, when present) and is exact without a merge.
+// Cardinality returns n_u over applied edges (over the live window, in
+// window mode). A user's post-checkpoint state lives only in its owning
+// shard, so this reads one shard (plus the recovery base, when present)
+// and is exact without a merge.
 func (e *Engine) Cardinality(u stream.User) int64 {
+	e.maybeAdvance()
+	if e.cfg.Window != nil {
+		// Shard + rotating base must be read on the same side of any
+		// rotation; the read-lock holds rotation out (winMu before skMu).
+		e.winMu.RLock()
+		defer e.winMu.RUnlock()
+	}
 	s := e.shards[e.ShardOf(u)]
 	s.skMu.RLock()
 	c := s.sk.Cardinality(u)
@@ -734,12 +833,37 @@ func (e *Engine) Cardinality(u stream.User) int64 {
 	if e.base != nil {
 		c += e.base.Cardinality(u)
 	}
+	if e.winBase != nil {
+		c += e.winBase.Cardinality(u)
+	}
 	return c
 }
 
-// Stats summarises the merged global sketch (see core.VOS.Stats).
+// Stats summarises the merged global sketch (see core.VOS.Stats). In
+// window mode the window metadata fields are set, the state covers the
+// live window only, and MemoryBytes counts the full resident footprint —
+// every shard's bucket ring plus the flattened snapshot, matching what
+// WindowedSketch.Stats reports for the single-threaded shape — so an
+// operator sizing a windowed deployment from /v1/stats sees the rings,
+// not just one array.
 func (e *Engine) Stats() core.Stats {
-	return e.snapshot().Stats()
+	e.maybeAdvance()
+	st := e.snapshot().Stats()
+	if w := e.cfg.Window; w != nil {
+		st.WindowSeconds = (time.Duration(w.Buckets) * w.BucketDuration).Seconds()
+		st.WindowBuckets = w.Buckets
+		e.winMu.RLock()
+		for _, s := range e.shards {
+			s.skMu.RLock()
+			st.MemoryBytes += s.win.Stats().MemoryBytes
+			s.skMu.RUnlock()
+		}
+		if e.winBase != nil {
+			st.MemoryBytes += e.winBase.Stats().MemoryBytes
+		}
+		e.winMu.RUnlock()
+	}
+	return st
 }
 
 // MarshalBinary serializes the engine's merged state; the result restores
@@ -747,8 +871,12 @@ func (e *Engine) Stats() core.Stats {
 // flushes first and then merges with a zero staleness budget, so the bytes
 // cover every edge acknowledged before the call even when
 // Config.SnapshotMaxLag allows stale Query answers — a serialized engine
-// is never behind its acknowledged writes.
+// is never behind its acknowledged writes. In window mode the bytes are
+// the live window view (in-window edges only), without bucket structure —
+// checkpoints, which must keep rotating after recovery, persist per-bucket
+// state instead (see durability.go).
 func (e *Engine) MarshalBinary() ([]byte, error) {
+	e.maybeAdvance()
 	e.Flush()
 	return e.snapshotMaxLag(0).MarshalBinary()
 }

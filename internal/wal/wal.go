@@ -1,33 +1,3 @@
-// Package wal implements the durability layer of the sharded VOS engine: a
-// segmented, CRC-checksummed write-ahead log of edge operations plus an
-// atomically written checkpoint of the merged sketch, so an engine can
-// restart from disk and replay only the stream suffix instead of the whole
-// graph stream.
-//
-// Layout of a log directory:
-//
-//	wal-<base>.seg        segments; <base> is the stream position (total
-//	                      edges appended before this segment) in 20 decimal
-//	                      digits, so lexicographic order is replay order
-//	checkpoint-<pos>.ckpt checkpoints; <pos> is the stream position the
-//	                      snapshot covers
-//
-// Segment format: an 8-byte magic "VOSWAL01", the u64 little-endian base
-// position, then records. Each record frames one appended batch:
-//
-//	u32 LE payload length | u32 LE CRC-32C of payload | payload
-//
-// where the payload is a uvarint edge count followed by count edges in the
-// stream binary-codec shape — uvarint (user<<1 | opBit), uvarint item. The
-// CRC makes torn or bit-rotted tails detectable: iteration stops cleanly at
-// the first invalid frame of the last segment (a crash mid-append), and
-// Open truncates that tail so the file ends at a record boundary again.
-//
-// Checkpoint format: an 8-byte magic "VOSCKPT1", u64 LE position, u64 LE
-// sketch length, the sketch bytes (core.VOS.MarshalBinary), and a trailing
-// u32 LE CRC-32C over everything before it. Checkpoints are written to a
-// temp file, fsynced, and renamed into place, so a crash mid-checkpoint
-// leaves the previous checkpoint intact.
 package wal
 
 import (

@@ -1,26 +1,3 @@
-// Package server exposes a vos.SimilarityService over a versioned HTTP+JSON
-// API — the network front door of the module. It is deliberately thin: all
-// sketch semantics live behind the service interface, the server adds the
-// wire concerns a production deployment needs and nothing else:
-//
-//   - versioned routes under /v1/ (see Routes) with a uniform typed error
-//     envelope {"error":{"code":...,"message":...}},
-//   - single-event and batch ingest in three formats (JSON, NDJSON, and
-//     the VOSSTRM1 binary stream codec) with backpressure: a bounded
-//     in-flight ingest byte budget sheds load with 429/backpressure
-//     instead of letting concurrent bulk loads exhaust memory,
-//   - request contexts plumbed into the service, so a disconnected or
-//     timed-out caller actually aborts its in-flight top-K fan-out,
-//   - health (/v1/healthz) and readiness (/v1/readyz) probes plus
-//     graceful drain: Drain flips readiness, rejects new work, and waits
-//     for in-flight requests so a deployment can rotate instances without
-//     dropping queries,
-//   - per-endpoint observability at /v1/metrics (request counts, error
-//     counts, latency, and windowed request rates via metrics.RateMeter)
-//     and optional request logging.
-//
-// The matching Go client is package client; cmd/vosd wires this server to
-// a durable engine behind flags.
 package server
 
 import (
@@ -32,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -56,6 +34,14 @@ const (
 	RouteReadyz      = "/v1/readyz"      // GET readiness (503 while draining)
 	RouteMetrics     = "/v1/metrics"     // GET per-endpoint counters
 )
+
+// HeaderBatchTs optionally carries a whole ingest batch's event time as
+// fractional Unix seconds — the header equivalent of the per-edge "ts"
+// field, and the only way to timestamp the binary VOSSTRM1 format (whose
+// frames carry no time). Against a windowed service the largest of the
+// header and per-edge timestamps advances the sliding window before the
+// batch is ingested; unwindowed services ignore it.
+const HeaderBatchTs = "X-Vos-Batch-Ts"
 
 // Ingest content types accepted by POST /v1/edges.
 const (
@@ -340,7 +326,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	defer func() { s.release(held) }()
 
 	body := http.MaxBytesReader(w, r.Body, s.opt.MaxBatchBytes)
-	edges, err := decodeEdges(r.Header.Get("Content-Type"), body)
+	edges, maxTs, err := decodeEdges(r.Header.Get("Content-Type"), body)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -350,17 +336,58 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
+	if hdr := r.Header.Get(HeaderBatchTs); hdr != "" {
+		ts, err := strconv.ParseFloat(hdr, 64)
+		if err != nil || !validUnixSeconds(ts) {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				HeaderBatchTs+" must be positive fractional unix seconds before year 2262")
+			return
+		}
+		if ts > maxTs {
+			maxTs = ts
+		}
+	}
 	// Trim the pessimistic hold to the real footprint, freeing budget for
 	// concurrent requests while the engine ingests.
 	if actual := wire + int64(len(edges))*edgeMemBytes; actual < held {
 		s.release(held - actual)
 		held = actual
 	}
+	// Timestamped ingest drives event time: the batch's largest timestamp
+	// rotates a windowed service forward before the edges land, so the
+	// window tracks stream time even when it outruns the wall clock.
+	// Unwindowed services accept the timestamps and ignore them.
+	if maxTs > 0 {
+		if wsvc, ok := s.svc.(vos.Windowed); ok {
+			if err := wsvc.AdvanceWindow(r.Context(), unixSeconds(maxTs)); err != nil && !errors.Is(err, vos.ErrNoWindow) {
+				s.writeServiceError(w, err)
+				return
+			}
+		}
+	}
 	if err := s.svc.Ingest(r.Context(), edges); err != nil {
 		s.writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, IngestResponse{Accepted: len(edges)})
+}
+
+// maxUnixSeconds bounds the ts/at wire fields: the largest fractional
+// Unix second whose nanosecond form fits int64 (≈ year 2262). Values past
+// it would overflow the conversion to an unspecified — on amd64, far
+// PAST — instant, flipping a far-future timestamp into the far past.
+const maxUnixSeconds = float64(math.MaxInt64) / 1e9
+
+// validUnixSeconds reports whether ts is a usable wire timestamp:
+// positive, finite, and within the int64-nanosecond range.
+func validUnixSeconds(ts float64) bool {
+	return ts > 0 && !math.IsInf(ts, 0) && !math.IsNaN(ts) && ts < maxUnixSeconds
+}
+
+// unixSeconds converts fractional Unix seconds to a time.Time. Callers
+// validate with validUnixSeconds first.
+func unixSeconds(ts float64) time.Time {
+	return time.Unix(0, int64(ts*1e9))
 }
 
 // normalizeCT strips parameters, surrounding space, and case from a
@@ -373,53 +400,56 @@ func normalizeCT(contentType string) string {
 }
 
 // decodeEdges parses an ingest body in any of the three accepted formats.
-func decodeEdges(contentType string, body io.Reader) ([]vos.Edge, error) {
+// The second return is the largest per-edge event timestamp seen
+// (fractional Unix seconds; 0 when none) — the binary format carries no
+// timestamps, so its batches are timestamped with HeaderBatchTs instead.
+func decodeEdges(contentType string, body io.Reader) ([]vos.Edge, float64, error) {
 	switch normalizeCT(contentType) {
 	case ContentTypeBinary:
 		edges, err := stream.ReadBinary(body)
 		if err != nil {
-			return nil, fmt.Errorf("binary body: %w", err)
+			return nil, 0, fmt.Errorf("binary body: %w", err)
 		}
-		return edges, nil
+		return edges, 0, nil
 	case ContentTypeNDJSON:
 		return decodeNDJSON(body)
 	case ContentTypeJSON, "", "text/json":
 		return decodeJSONEdges(body)
 	default:
-		return nil, fmt.Errorf("unsupported Content-Type %q (want %s, %s, or %s)",
+		return nil, 0, fmt.Errorf("unsupported Content-Type %q (want %s, %s, or %s)",
 			contentType, ContentTypeJSON, ContentTypeNDJSON, ContentTypeBinary)
 	}
 }
 
 // decodeJSONEdges accepts either a single EdgeJSON object (single-event
 // ingest) or an array of them (batch).
-func decodeJSONEdges(body io.Reader) ([]vos.Edge, error) {
+func decodeJSONEdges(body io.Reader) ([]vos.Edge, float64, error) {
 	data, err := io.ReadAll(body)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	trimmed := bytes.TrimLeft(data, " \t\r\n")
 	if len(trimmed) == 0 {
-		return nil, errors.New("empty body")
+		return nil, 0, errors.New("empty body")
 	}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if trimmed[0] == '[' {
 		var ws []EdgeJSON
 		if err := dec.Decode(&ws); err != nil {
-			return nil, fmt.Errorf("bad JSON edge array: %w", err)
+			return nil, 0, fmt.Errorf("bad JSON edge array: %w", err)
 		}
 		if err := expectExhausted(dec); err != nil {
-			return nil, fmt.Errorf("bad JSON edge array: %w", err)
+			return nil, 0, fmt.Errorf("bad JSON edge array: %w", err)
 		}
 		return edgesFromWire(ws)
 	}
 	var one EdgeJSON
 	if err := dec.Decode(&one); err != nil {
-		return nil, fmt.Errorf("bad JSON edge: %w", err)
+		return nil, 0, fmt.Errorf("bad JSON edge: %w", err)
 	}
 	if err := expectExhausted(dec); err != nil {
-		return nil, fmt.Errorf("bad JSON edge: %w", err)
+		return nil, 0, fmt.Errorf("bad JSON edge: %w", err)
 	}
 	return edgesFromWire([]EdgeJSON{one})
 }
@@ -435,7 +465,7 @@ func expectExhausted(dec *json.Decoder) error {
 }
 
 // decodeNDJSON parses one EdgeJSON per line; blank lines are skipped.
-func decodeNDJSON(body io.Reader) ([]vos.Edge, error) {
+func decodeNDJSON(body io.Reader) ([]vos.Edge, float64, error) {
 	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	var ws []EdgeJSON
@@ -453,29 +483,36 @@ func decodeNDJSON(body io.Reader) ([]vos.Edge, error) {
 		dec.DisallowUnknownFields()
 		var e EdgeJSON
 		if err := dec.Decode(&e); err != nil {
-			return nil, fmt.Errorf("ndjson line %d: %w", line, err)
+			return nil, 0, fmt.Errorf("ndjson line %d: %w", line, err)
 		}
 		if err := expectExhausted(dec); err != nil {
-			return nil, fmt.Errorf("ndjson line %d: %w", line, err)
+			return nil, 0, fmt.Errorf("ndjson line %d: %w", line, err)
 		}
 		ws = append(ws, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("ndjson: %w", err)
+		return nil, 0, fmt.Errorf("ndjson: %w", err)
 	}
 	return edgesFromWire(ws)
 }
 
-func edgesFromWire(ws []EdgeJSON) ([]vos.Edge, error) {
+func edgesFromWire(ws []EdgeJSON) ([]vos.Edge, float64, error) {
 	out := make([]vos.Edge, len(ws))
+	maxTs := 0.0
 	for i, w := range ws {
 		e, err := w.Edge()
 		if err != nil {
-			return nil, fmt.Errorf("edge %d: %w", i, err)
+			return nil, 0, fmt.Errorf("edge %d: %w", i, err)
+		}
+		if w.Ts != 0 && !validUnixSeconds(w.Ts) {
+			return nil, 0, fmt.Errorf("edge %d: ts must be positive unix seconds before year 2262, got %v", i, w.Ts)
+		}
+		if w.Ts > maxTs {
+			maxTs = w.Ts
 		}
 		out[i] = e
 	}
-	return out, nil
+	return out, maxTs, nil
 }
 
 // edgeMemBytes is the in-memory footprint of one decoded edge, used to
@@ -501,12 +538,60 @@ func (s *Server) release(n int64) {
 
 // --- queries ---
 
+// checkAt enforces the query-time window guard for an "at" instant given
+// as fractional Unix seconds (0 = no constraint, always fine). It writes
+// the error response and returns false when the query cannot be served:
+// "bad_request" when the backing service has no window to check against,
+// "outside_window" when at predates the live window — the edges that
+// would answer it have been retired. Instants inside (or ahead of) the
+// window are served from the live view.
+func (s *Server) checkAt(w http.ResponseWriter, r *http.Request, at float64) bool {
+	if at == 0 {
+		return true
+	}
+	if !validUnixSeconds(at) {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "at must be positive unix seconds before year 2262")
+		return false
+	}
+	wsvc, ok := s.svc.(vos.Windowed)
+	if !ok {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "at requires a sliding-window service; this service retains the whole stream")
+		return false
+	}
+	info, err := wsvc.WindowInfo(r.Context())
+	if err != nil {
+		if errors.Is(err, vos.ErrNoWindow) {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "at requires a sliding-window service; this service retains the whole stream")
+		} else {
+			s.writeServiceError(w, err)
+		}
+		return false
+	}
+	if t := unixSeconds(at); t.Before(info.Start) {
+		writeError(w, http.StatusUnprocessableEntity, CodeOutsideWindow,
+			fmt.Sprintf("instant %s predates the live window (starts %s, spans %s)",
+				t.UTC().Format(time.RFC3339Nano), info.Start.UTC().Format(time.RFC3339Nano), info.Span()))
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 	u, okU := parseID(r.URL.Query().Get("u"))
 	v, okV := parseID(r.URL.Query().Get("v"))
 	if !okU || !okV {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "u and v must be unsigned integers")
 		return
+	}
+	if atStr := r.URL.Query().Get("at"); atStr != "" {
+		at, err := strconv.ParseFloat(atStr, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "at must be fractional unix seconds")
+			return
+		}
+		if !s.checkAt(w, r, at) {
+			return
+		}
 	}
 	est, err := s.svc.Similarity(r.Context(), vos.User(u), vos.User(v))
 	if err != nil {
@@ -525,6 +610,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.N <= 0 || len(req.Candidates) == 0 {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "need n > 0 and a non-empty candidates list")
+		return
+	}
+	if !s.checkAt(w, r, req.At) {
 		return
 	}
 	candidates := make([]vos.User, len(req.Candidates))
@@ -646,6 +734,12 @@ func statusFor(err error) (int, string) {
 		// A memory-only engine satisfies Checkpointer but cannot deliver:
 		// the capability, not the instance, is missing.
 		return http.StatusNotImplemented, CodeUnsupported
+	case errors.Is(err, vos.ErrOutsideWindow):
+		// Well-formed but unanswerable: the requested instant's edges have
+		// been retired from the sliding window.
+		return http.StatusUnprocessableEntity, CodeOutsideWindow
+	case errors.Is(err, vos.ErrNoWindow):
+		return http.StatusBadRequest, CodeBadRequest
 	case errors.Is(err, vos.ErrClosed), errors.Is(err, vos.ErrQueryUnavailable):
 		return http.StatusServiceUnavailable, CodeUnavailable
 	default:

@@ -18,10 +18,18 @@ import (
 
 // EdgeJSON is one stream element on the wire: {"user":u,"item":i,"op":"+"}.
 // Op is "+" (insert, the default when omitted) or "-" (delete).
+//
+// Ts optionally carries the element's event time as fractional Unix
+// seconds. Against a windowed service the largest timestamp of a batch
+// advances the sliding window (rotating buckets the stream time has moved
+// past) before the batch is ingested; every edge then lands in the
+// current bucket, so late (clock-skewed) timestamps are accepted and
+// simply attributed to the present. Unwindowed services ignore Ts.
 type EdgeJSON struct {
-	User uint64 `json:"user"`
-	Item uint64 `json:"item"`
-	Op   string `json:"op,omitempty"`
+	User uint64  `json:"user"`
+	Item uint64  `json:"item"`
+	Op   string  `json:"op,omitempty"`
+	Ts   float64 `json:"ts,omitempty"`
 }
 
 // Edge converts to the stream element type. It rejects unknown ops.
@@ -96,11 +104,16 @@ func EstimateToWire(e vos.Estimate) EstimateJSON {
 	}
 }
 
-// TopKRequest is the POST /v1/topk body.
+// TopKRequest is the POST /v1/topk body. At, when nonzero, asserts the
+// query is about that instant (fractional Unix seconds): a windowed
+// service answers from the live window only if At is inside it and
+// replies "outside_window" otherwise; an unwindowed service rejects At
+// with "bad_request" (it has no notion of retained time).
 type TopKRequest struct {
 	User       uint64   `json:"user"`
 	Candidates []uint64 `json:"candidates"`
 	N          int      `json:"n"`
+	At         float64  `json:"at,omitempty"`
 }
 
 // TopKResultJSON is one ranked candidate of the /v1/topk response.
@@ -116,36 +129,45 @@ type CardinalityResponse struct {
 }
 
 // StatsResponse is the GET /v1/stats answer, vos.Stats on the wire.
+// WindowSeconds and WindowBuckets are present (nonzero) only when the
+// backing service runs in sliding-window mode; the stats then describe
+// the live window's state, not the whole stream's.
 type StatsResponse struct {
-	MemoryBits  uint64  `json:"memory_bits"`
-	SketchBits  int     `json:"sketch_bits"`
-	OnesCount   uint64  `json:"ones_count"`
-	Beta        float64 `json:"beta"`
-	Users       int     `json:"users"`
-	MemoryBytes uint64  `json:"memory_bytes"`
+	MemoryBits    uint64  `json:"memory_bits"`
+	SketchBits    int     `json:"sketch_bits"`
+	OnesCount     uint64  `json:"ones_count"`
+	Beta          float64 `json:"beta"`
+	Users         int     `json:"users"`
+	MemoryBytes   uint64  `json:"memory_bytes"`
+	WindowSeconds float64 `json:"window_seconds,omitempty"`
+	WindowBuckets int     `json:"window_buckets,omitempty"`
 }
 
 // Stats converts back to the engine type.
 func (s StatsResponse) Stats() vos.Stats {
 	return vos.Stats{
-		MemoryBits:  s.MemoryBits,
-		SketchBits:  s.SketchBits,
-		OnesCount:   s.OnesCount,
-		Beta:        s.Beta,
-		Users:       s.Users,
-		MemoryBytes: s.MemoryBytes,
+		MemoryBits:    s.MemoryBits,
+		SketchBits:    s.SketchBits,
+		OnesCount:     s.OnesCount,
+		Beta:          s.Beta,
+		Users:         s.Users,
+		MemoryBytes:   s.MemoryBytes,
+		WindowSeconds: s.WindowSeconds,
+		WindowBuckets: s.WindowBuckets,
 	}
 }
 
 // StatsToWire converts engine stats to their wire form.
 func StatsToWire(s vos.Stats) StatsResponse {
 	return StatsResponse{
-		MemoryBits:  s.MemoryBits,
-		SketchBits:  s.SketchBits,
-		OnesCount:   s.OnesCount,
-		Beta:        s.Beta,
-		Users:       s.Users,
-		MemoryBytes: s.MemoryBytes,
+		MemoryBits:    s.MemoryBits,
+		SketchBits:    s.SketchBits,
+		OnesCount:     s.OnesCount,
+		Beta:          s.Beta,
+		Users:         s.Users,
+		MemoryBytes:   s.MemoryBytes,
+		WindowSeconds: s.WindowSeconds,
+		WindowBuckets: s.WindowBuckets,
 	}
 }
 
@@ -183,6 +205,12 @@ const (
 	// from CodeUnavailable so a transiently rotating instance is never
 	// mistaken for a permanently closed engine.
 	CodeDraining = "draining"
+	// CodeOutsideWindow: the query's "at" instant predates the live
+	// sliding window — the edges that would answer it have been retired
+	// and exist nowhere in the engine. Unlike CodeBadRequest the request
+	// is well-formed; the caller must drop the time constraint or the
+	// operator must widen the window. Maps onto vos.ErrOutsideWindow.
+	CodeOutsideWindow = "outside_window"
 	// CodeCanceled: the request context was cancelled mid-query.
 	CodeCanceled = "canceled"
 	// CodeTimeout: the request context's deadline expired mid-query.

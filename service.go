@@ -3,6 +3,7 @@ package vos
 import (
 	"context"
 	"sync"
+	"time"
 
 	"github.com/vossketch/vos/internal/engine"
 )
@@ -32,15 +33,25 @@ type SimilarityService interface {
 	// mid-call: a durable engine has already logged the batch, and
 	// abandoning the shard hand-off would desynchronise checkpoints from
 	// the WAL. Engine backpressure (full shard queues) therefore blocks
-	// past cancellation; bound it with queue sizing, not ctx.
+	// past cancellation; bound it with queue sizing, not ctx. Returns
+	// ErrClosed once the backing engine has shut down — the edges were
+	// NOT accepted.
 	Ingest(ctx context.Context, edges []Edge) error
-	// Similarity estimates the similarity of users u and v.
+	// Similarity estimates the similarity of users u and v. Returns
+	// ErrClosed once the backing engine has shut down and
+	// ErrQueryUnavailable when the query path cannot answer in the
+	// engine's current state; both mean no estimate was produced —
+	// there are no silent zero answers.
 	Similarity(ctx context.Context, u, v User) (Estimate, error)
 	// TopK returns the n candidates most similar to u, best first.
+	// Cancelling ctx aborts an Engine-backed fan-out mid-scan with
+	// ctx.Err(); ErrClosed and ErrQueryUnavailable as for Similarity.
 	TopK(ctx context.Context, u User, candidates []User, n int) ([]TopKResult, error)
-	// Cardinality returns n_u, the tracked item count of user u.
+	// Cardinality returns n_u, the tracked item count of user u (over
+	// the live window on windowed engines). ErrClosed after shutdown.
 	Cardinality(ctx context.Context, u User) (int64, error)
-	// Stats summarises the sketch state backing the service.
+	// Stats summarises the sketch state backing the service (window
+	// metadata included on windowed engines). ErrClosed after shutdown.
 	Stats(ctx context.Context) (Stats, error)
 }
 
@@ -49,6 +60,24 @@ type SimilarityService interface {
 // can persist a checkpoint on demand. POST /v1/checkpoint probes for it.
 type Checkpointer interface {
 	Checkpoint(ctx context.Context) (uint64, error)
+}
+
+// Windowed is the optional sliding-window extension of SimilarityService:
+// services backed by a windowed Engine report the live window's
+// boundaries and accept event time. The server probes for it to honour
+// timestamped ingest (the ts fields of POST /v1/edges advance the window)
+// and to answer "outside_window" when a query instant predates the
+// retained range. Both methods return ErrNoWindow when the backing engine
+// has no window configured, and ErrClosed once it has shut down.
+type Windowed interface {
+	// WindowInfo returns the live window boundaries, advancing them first
+	// if the clock has crossed a rotation boundary.
+	WindowInfo(ctx context.Context) (WindowInfo, error)
+	// AdvanceWindow drives event time: it rotates the window through every
+	// bucket boundary up to t. Instants at or before the current boundary
+	// are a no-op — the window never moves backwards, so clock-skewed
+	// timestamps cannot unwind retired state.
+	AdvanceWindow(ctx context.Context, t time.Time) error
 }
 
 // ErrQueryUnavailable is returned by query paths that cannot answer in the
@@ -131,6 +160,36 @@ func (s *engineService) Checkpoint(ctx context.Context) (uint64, error) {
 		return 0, err
 	}
 	return s.e.Checkpoint()
+}
+
+// WindowInfo implements Windowed; ErrNoWindow on an unwindowed engine.
+func (s *engineService) WindowInfo(ctx context.Context) (WindowInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return WindowInfo{}, err
+	}
+	if s.e.Closed() {
+		return WindowInfo{}, ErrClosed
+	}
+	info, ok := s.e.WindowInfo()
+	if !ok {
+		return WindowInfo{}, ErrNoWindow
+	}
+	return info, nil
+}
+
+// AdvanceWindow implements Windowed; ErrNoWindow on an unwindowed engine.
+func (s *engineService) AdvanceWindow(ctx context.Context, t time.Time) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.e.Closed() {
+		return ErrClosed
+	}
+	if !s.e.Windowed() {
+		return ErrNoWindow
+	}
+	s.e.AdvanceWindowTo(t)
+	return nil
 }
 
 // flush gives reads read-your-writes and converts the lifecycle states

@@ -33,14 +33,23 @@
 // exactly merged snapshot — because VOS merging is exact for any partition
 // of the stream, sharded ingest costs no accuracy. See examples/sharded.
 //
+// # Sliding windows
+//
+// Because the state is pure parity, a sliding window — "who is similar
+// to u over the last hour" — is structural: WindowedSketch keeps a ring
+// of time-bucketed sub-sketches, queries their XOR-merge, and retires
+// the oldest bucket by XOR-ing it back out in O(sketch), with no
+// per-edge expiry tracking. EngineConfig.Window is the sharded form.
+//
 // # Serving
 //
 // SimilarityService is the context-aware serving interface all deployment
 // shapes satisfy: NewSketchService, NewConcurrentService, and
 // NewEngineService adapt the in-process types, package server exposes any
 // SimilarityService over a versioned HTTP API, package client implements
-// it over the wire, and cmd/vosd is the runnable daemon. See the README's
-// "Serving" section.
+// it over the wire, and cmd/vosd is the runnable daemon. Optional
+// capabilities (Checkpointer, Windowed) are probed at runtime. See the
+// README's "Serving" section and docs/ARCHITECTURE.md for the layer map.
 //
 // # Quick start
 //
