@@ -364,6 +364,16 @@ func (c *Client) TopKAt(ctx context.Context, u vos.User, candidates []vos.User, 
 	return c.topK(ctx, u, candidates, n, float64(at.UnixNano())/1e9)
 }
 
+// TopKApprox implements vos.ApproxTopK: candidates-free top-K answered
+// from the server's approximate (banded-LSH) index, travelling as
+// POST /v1/topk with mode "ann". A server whose backing service has no
+// index answers 501 unsupported — errors.Is(err, vos.ErrNoANN) style
+// branching is not possible over the wire, so check the *Error code
+// ("unsupported") instead.
+func (c *Client) TopKApprox(ctx context.Context, u vos.User, n int) ([]vos.TopKResult, error) {
+	return c.postTopK(ctx, server.TopKRequest{User: uint64(u), N: n, Mode: "ann"})
+}
+
 // topK is the shared body of TopK and TopKAt; at == 0 means no instant
 // assertion.
 func (c *Client) topK(ctx context.Context, u vos.User, candidates []vos.User, n int, at float64) ([]vos.TopKResult, error) {
@@ -371,6 +381,12 @@ func (c *Client) topK(ctx context.Context, u vos.User, candidates []vos.User, n 
 	for i, cand := range candidates {
 		req.Candidates[i] = uint64(cand)
 	}
+	return c.postTopK(ctx, req)
+}
+
+// postTopK posts a /v1/topk request body and decodes the ranked results.
+// Top-K is a read however it is parameterised, so it retries like the GETs.
+func (c *Client) postTopK(ctx context.Context, req server.TopKRequest) ([]vos.TopKResult, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err

@@ -13,7 +13,7 @@
 //
 // Experiments: fig2a, fig2b, fig3a, fig3b, fig3c, fig3d, abl-lambda,
 // abl-load, abl-dense, abl-delbias, compare, throughput, query, window,
-// all.
+// topk-ann, all.
 //
 // The throughput experiment measures the sharded ingestion engine: for
 // each shard count it ingests the runtime workload through vos.Engine,
@@ -33,6 +33,12 @@
 // in-window ground truth, parity-gated on the live window sketch being
 // bit-identical to a fresh sketch built from only the in-window edges.
 //
+// The topk-ann experiment measures the approximate top-K path
+// (Engine.TopKApprox over the banded-LSH index) against the exact scan on
+// a planted heavy-cluster workload, and refuses to emit a timing row when
+// mean recall@10 falls below -ann-min-recall or any approximate result is
+// not a subset-ordered prefix of the exact ranking.
+//
 // -json renders every table as a machine-readable JSON document (see
 // bench/ for the checked-in trajectory this feeds).
 package main
@@ -50,7 +56,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (fig2a fig2b fig3a fig3b fig3c fig3d abl-lambda abl-load abl-dense abl-delbias compare throughput query window all)")
+		experiment = flag.String("experiment", "all", "experiment id (fig2a fig2b fig3a fig3b fig3c fig3d abl-lambda abl-load abl-dense abl-delbias compare throughput query window topk-ann all)")
 		scale      = flag.Float64("scale", 0.01, "dataset profile scale factor (paper scale = 1.0)")
 		seed       = flag.Int64("seed", 2, "workload seed")
 		k32        = flag.Int("k", 100, "registers per user for the baselines (paper: 100)")
@@ -62,9 +68,15 @@ func main() {
 		dataset    = flag.String("dataset", "YouTube", "profile for single-dataset experiments (YouTube, Flickr, Orkut, LiveJournal)")
 		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -experiment throughput")
 		buckets    = flag.Int("buckets", 8, "sliding-window bucket count for -experiment window")
-		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of aligned text")
-		outdir     = flag.String("outdir", "", "also write each table as <outdir>/<id>.csv")
+
+		annUsers     = flag.Int("ann-users", 100000, "total population for -experiment topk-ann")
+		annBands     = flag.Int("ann-bands", 0, "LSH bands for -experiment topk-ann (0 = experiment default 128)")
+		annRows      = flag.Int("ann-rows", 0, "LSH rows per band for -experiment topk-ann (0 = experiment default 20)")
+		annProbes    = flag.Int("ann-probes", 24, "cluster members probed by -experiment topk-ann")
+		annMinRecall = flag.Float64("ann-min-recall", 0.95, "recall@10 gate for -experiment topk-ann; below it the run errors instead of emitting rows")
+		csv          = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut      = flag.Bool("json", false, "emit machine-readable JSON instead of aligned text")
+		outdir       = flag.String("outdir", "", "also write each table as <outdir>/<id>.csv")
 	)
 	flag.Parse()
 
@@ -89,7 +101,15 @@ func main() {
 		fatal(err)
 	}
 
-	tables, err := runWithShards(*experiment, opts, shardCounts, *buckets)
+	annOpts := experiments.TopKANNOptions{
+		Users:     *annUsers,
+		Bands:     *annBands,
+		Rows:      *annRows,
+		Probes:    *annProbes,
+		MinRecall: *annMinRecall,
+	}
+
+	tables, err := runWithShards(*experiment, opts, shardCounts, *buckets, annOpts)
 	if err != nil {
 		fatal(err)
 	}
@@ -130,15 +150,18 @@ func writeCSV(dir string, t *experiments.Table) error {
 }
 
 // runWithShards dispatches experiments that take extra topology knobs
-// (the shard-count sweep, the window bucket count) and delegates
-// everything else to run.
-func runWithShards(id string, opts experiments.Options, shardCounts []int, buckets int) ([]*experiments.Table, error) {
+// (the shard-count sweep, the window bucket count, the ANN shape) and
+// delegates everything else to run.
+func runWithShards(id string, opts experiments.Options, shardCounts []int, buckets int, annOpts experiments.TopKANNOptions) ([]*experiments.Table, error) {
 	switch id {
 	case "throughput":
 		t, err := experiments.Throughput(opts, shardCounts)
 		return one(t, err)
 	case "window":
 		t, err := experiments.WindowExperiment(opts, buckets)
+		return one(t, err)
+	case "topk-ann":
+		t, err := experiments.TopKANN(opts, annOpts)
 		return one(t, err)
 	}
 	return run(id, opts)

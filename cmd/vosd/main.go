@@ -10,6 +10,7 @@
 //	vosd -listen :8080                                    # memory-only
 //	vosd -dir /var/lib/vosd -sync off -checkpoint-interval 30s
 //	vosd -listen :8080 -window 1h -buckets 60             # sliding window
+//	vosd -listen :8080 -ann                               # approximate top-K
 //
 // With -window the daemon serves sliding-window similarity: queries cover
 // only the last -window of stream time, advanced by the wall clock and by
@@ -17,6 +18,12 @@
 // /v1/edges), with older edges retired in O(sketch) per bucket rotation.
 // Checkpoints then persist per-bucket state, so -window and -buckets must
 // match the directory's previous life.
+//
+// With -ann the engine maintains a banded-LSH index over recovered
+// sketches and POST /v1/topk accepts mode "ann" — candidates-free top-K
+// probing only colliding index buckets instead of scanning a supplied
+// candidate list. -ann-bands/-ann-rows shape the S-curve (see the README's
+// "Approximate top-K" section); without -ann, mode "ann" answers 501.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: readiness flips to 503,
 // in-flight requests finish (bounded by -drain-timeout), the listener
@@ -70,6 +77,11 @@ func run(args []string, stdout io.Writer) error {
 		window  = fs.Duration("window", 0, "sliding-window span: queries cover only the last this-much stream time (0 = retain everything)")
 		buckets = fs.Int("buckets", 60, "sliding-window bucket count; rotation granularity is window/buckets (requires -window)")
 
+		ann             = fs.Bool("ann", false, `maintain the approximate top-K index (enables POST /v1/topk mode "ann")`)
+		annBands        = fs.Int("ann-bands", 0, "LSH bands b of the approximate top-K index (0 = default 64; requires -ann)")
+		annRows         = fs.Int("ann-rows", 0, "LSH rows r per band (0 = default 16; requires -ann)")
+		annRebandBudget = fs.Int("ann-reband-budget", 0, "stale users re-banded per ANN probe (0 = default 16384, negative unbounded; requires -ann)")
+
 		syncMode   = fs.String("sync", "batch", `WAL fsync policy: "batch", "interval", or "off"`)
 		syncEveryN = fs.Int("sync-every-n", 0, `edges between fsyncs under -sync interval (0 = default 4096)`)
 		segBytes   = fs.Int64("segment-bytes", 0, "WAL segment rotation threshold (0 = default 64 MiB)")
@@ -107,6 +119,11 @@ func run(args []string, stdout io.Writer) error {
 		}
 	} else if *window < 0 {
 		return fmt.Errorf("vosd: -window must not be negative (got %v)", *window)
+	}
+	if *ann {
+		cfg.ANN = &vos.ANNConfig{Bands: *annBands, Rows: *annRows, RebandBudget: *annRebandBudget}
+	} else if *annBands != 0 || *annRows != 0 || *annRebandBudget != 0 {
+		return fmt.Errorf("vosd: -ann-bands/-ann-rows/-ann-reband-budget require -ann")
 	}
 	var eng *vos.Engine
 	var err error
@@ -158,8 +175,8 @@ func run(args []string, stdout io.Writer) error {
 	if *window > 0 {
 		windowDesc = fmt.Sprintf("%v/%d buckets", *window, *buckets)
 	}
-	fmt.Fprintf(stdout, "vosd listening on http://%s (shards=%d, durable=%v, window=%s)\n",
-		ln.Addr(), eng.Shards(), *dir != "", windowDesc)
+	fmt.Fprintf(stdout, "vosd listening on http://%s (shards=%d, durable=%v, window=%s, ann=%v)\n",
+		ln.Addr(), eng.Shards(), *dir != "", windowDesc, *ann)
 
 	// Periodic checkpoints bound restart replay time; each one truncates
 	// the covered WAL prefix.

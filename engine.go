@@ -59,6 +59,23 @@ func TotalShardStats(stats []ShardStat) ShardStat { return metrics.TotalShardSta
 // ErrEngineClosed is returned by Engine.Process after Engine.Close.
 var ErrEngineClosed = engine.ErrClosed
 
+// ANNConfig enables the engine's approximate top-K index: a maintained
+// banded-LSH index over packed recovered sketches, probed by
+// Engine.TopKApprox instead of scanning every user. Bands (b) and Rows (r)
+// trade recall against candidate count along the S-curve
+// 1 − (1 − p^r)^b, where p is the fraction of recovered-sketch bits two
+// users agree on; zero fields select defaults (Bands 64, Rows 16,
+// RebandBudget 16384). Set it on EngineConfig.ANN.
+type ANNConfig = engine.ANNConfig
+
+// ANNStats is a health snapshot of the approximate top-K index (occupancy,
+// dirty backlog, maintenance counters), from Engine.ANNStats.
+type ANNStats = engine.ANNStats
+
+// ErrNoANN is returned by Engine.TopKApprox (and the ApproxTopK service
+// extension) when the backing engine was built without EngineConfig.ANN.
+var ErrNoANN = engine.ErrNoANN
+
 // NewEngine creates and starts a sharded ingestion engine. With
 // EngineConfig.Durability set it behaves like OpenEngine.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }

@@ -80,6 +80,16 @@ type Recovered struct {
 // User returns the user the snapshot belongs to.
 func (r *Recovered) User() stream.User { return r.user }
 
+// Card returns the user's cardinality n_u at recovery time.
+func (r *Recovered) Card() int64 { return r.card }
+
+// Words exposes the packed recovered sketch as 64-bit words — bit j of
+// the virtual sketch lives at words[j/64] >> (j%64). The slice aliases the
+// snapshot's (and possibly the recovered-sketch cache's) backing memory:
+// callers must treat it as read-only. It is the banding surface of the
+// approximate top-K index (internal/lsh.BandIndex).
+func (r *Recovered) Words() []uint64 { return r.bits.UnsafeWords() }
+
 // RecoverSketch snapshots user u's virtual odd sketch Ô_u as k packed bits
 // together with the cardinality and array load at recovery time. Bit j of
 // the result is A[f_j(u)], gathered word-by-word from the shared array —

@@ -230,6 +230,19 @@ func (v *VOS) bump(u stream.User, d int64) {
 // subscribes to. For feasible streams this is exact.
 func (v *VOS) Cardinality(u stream.User) int64 { return v.card[u] }
 
+// ForEachUser calls fn for every user with live sketch state (a nonzero
+// cardinality counter — zero counters are pruned on every write) in
+// unspecified order, stopping early when fn returns false. fn must not
+// write the sketch. The engine's approximate top-K index enumerates a
+// merged snapshot through this to seed its initial build.
+func (v *VOS) ForEachUser(fn func(u stream.User, card int64) bool) {
+	for u, c := range v.card {
+		if !fn(u, c) {
+			return
+		}
+	}
+}
+
 // Beta returns β, the current fraction of 1-bits in the shared array.
 func (v *VOS) Beta() float64 { return v.arr.OnesFraction() }
 

@@ -126,6 +126,12 @@ type Config struct {
 	// keeps rotating correctly; a windowed engine cannot open an
 	// unwindowed checkpoint directory or vice versa.
 	Window *WindowConfig
+
+	// ANN, when non-nil, maintains a banded-LSH index over recovered
+	// sketches so TopKApprox can answer candidates-free top-K probes
+	// without scanning every user (see ann.go). Zero fields select
+	// defaults; the resolved copy is visible via Config().
+	ANN *ANNConfig
 }
 
 // withDefaults resolves zero fields.
@@ -181,6 +187,15 @@ type shard struct {
 	// holding RLock sees exactly the count reflected in sk.
 	enqueued  atomic.Uint64
 	processed atomic.Uint64
+
+	// annDirty collects users this shard has written since an ANN probe
+	// last stole the set (nil on engines without Config.ANN). The worker
+	// fills it inside the skMu critical section that advances processed,
+	// so any snapshot that includes a write also finds its user dirty.
+	// annMu guards it; lock order is skMu (worker) / ann.mu (probe)
+	// before annMu, and annMu is never held across other locks.
+	annMu    sync.Mutex
+	annDirty map[stream.User]struct{}
 }
 
 // Engine is the sharded ingestion engine. All methods are safe for
@@ -243,6 +258,10 @@ type Engine struct {
 	winEnd  atomic.Int64
 	winRot  atomic.Uint64
 	winBase *core.Window
+
+	// ann is the approximate top-K state (nil without Config.ANN — see
+	// ann.go).
+	ann *annIndex
 }
 
 // New creates and starts an Engine. The configuration is validated the
@@ -269,6 +288,18 @@ func newEngine(cfg Config) (*Engine, error) {
 		start:  time.Now(),
 		snapAt: make([]uint64, cfg.Shards),
 	}
+	if cfg.ANN != nil {
+		// Resolve into a private copy so the caller's struct is never
+		// mutated, and validate the band structure against the sketch
+		// before any shard exists.
+		resolved := cfg.ANN.withDefaults(cfg.Sketch.Seed)
+		e.cfg.ANN = &resolved
+		ann, err := newANNIndex(resolved, cfg.Sketch)
+		if err != nil {
+			return nil, err
+		}
+		e.ann = ann
+	}
 	if cfg.PositionCacheUsers > 0 {
 		e.pcache = poscache.New(cfg.PositionCacheUsers)
 	}
@@ -280,6 +311,9 @@ func newEngine(cfg Config) (*Engine, error) {
 	}
 	for i := range e.shards {
 		s := &shard{ch: make(chan []stream.Edge, batches)}
+		if e.ann != nil {
+			s.annDirty = make(map[stream.User]struct{})
+		}
 		if cfg.Window != nil {
 			win, err := core.NewWindow(cfg.Sketch, cfg.Window.Buckets, cfg.Window.BucketDuration, winStart)
 			if err != nil {
@@ -348,6 +382,16 @@ func (e *Engine) worker(s *shard) {
 			for _, ed := range batch {
 				s.sk.Process(ed)
 			}
+		}
+		if s.annDirty != nil {
+			// Record the written users before the processed counter (and
+			// skMu) publishes this batch: any snapshot that can see these
+			// edges finds their users in a dirty set — see ann.go.
+			s.annMu.Lock()
+			for _, ed := range batch {
+				s.annDirty[ed.User] = struct{}{}
+			}
+			s.annMu.Unlock()
 		}
 		s.processed.Add(uint64(len(batch)))
 		s.skMu.Unlock()
@@ -691,6 +735,14 @@ func (e *Engine) TopKContext(ctx context.Context, u stream.User, candidates []st
 func (e *Engine) topK(ctx context.Context, u stream.User, candidates []stream.User, n int) ([]core.TopKResult, error) {
 	e.maybeAdvance()
 	snap := e.snapshot()
+	return e.rankCandidates(ctx, snap, snap.RecoverSketch(u), candidates, n)
+}
+
+// rankCandidates scores the candidates against a recovered probe and
+// returns the top n by core.RankBefore — the parallel fan-out shared by
+// the exact scan (topK) and the ANN probe (topKApprox), which differ only
+// in where the candidate list comes from.
+func (e *Engine) rankCandidates(ctx context.Context, snap *core.VOS, r *core.Recovered, candidates []stream.User, n int) ([]core.TopKResult, error) {
 	// Below ~2 full ranges the goroutine and merge overhead outweighs the
 	// fan-out; answer sequentially.
 	const minPerWorker = 64
@@ -699,9 +751,8 @@ func (e *Engine) topK(ctx context.Context, u stream.User, candidates []stream.Us
 		workers = maxW
 	}
 	if workers <= 1 || n <= 0 {
-		return snap.TopKRecoveredContext(ctx, snap.RecoverSketch(u), candidates, n)
+		return snap.TopKRecoveredContext(ctx, r, candidates, n)
 	}
-	r := snap.RecoverSketch(u)
 	tops := make([][]core.TopKResult, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup

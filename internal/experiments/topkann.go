@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"github.com/vossketch/vos/internal/core"
+	"github.com/vossketch/vos/internal/engine"
+	"github.com/vossketch/vos/internal/gen"
+	"github.com/vossketch/vos/internal/lsh"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// TopKANNOptions shape the approximate-top-K experiment on top of the
+// shared Options (which contribute the sketch configuration and seed).
+type TopKANNOptions struct {
+	// Users is the total population (heavy cluster members + background).
+	Users int
+	// Bands and Rows are the index's band structure (0 = the experiment
+	// default of 128x20, wider and sharper than the engine's — see TopKANN).
+	Bands, Rows int
+	// Probes is how many cluster members are queried for the recall and
+	// timing estimates.
+	Probes int
+	// MinRecall is the gate: mean recall@10 below this is an error, not a
+	// table row.
+	MinRecall float64
+}
+
+// TopKANN measures the approximate top-K path (Engine.TopKApprox over the
+// banded-LSH index) against the exact scan at the paper-scale sketch
+// configuration (m = 2^24, k = 6400 by default).
+//
+// The workload is planted so ground truth is known by construction:
+// a few heavy clusters (large cardinality, high within-cluster Jaccard —
+// the "users sharing most subscriptions" the paper's top-K mining targets)
+// on top of a large background population of light users. Each probe's
+// true top 10 is its cluster mates; the experiment reports recall@10 of
+// the approximate result against the exact scan over all users, then the
+// per-probe cost of both paths.
+//
+// Per house style a timed row is a correctness claim twice over: the run
+// errors out — emitting no timing — if mean recall@10 falls below
+// MinRecall, or if any approximate result is not a subset-ordered prefix
+// consistent with core.RankBefore and the engine's own pairwise estimates.
+func TopKANN(opts Options, ann TopKANNOptions) (*Table, error) {
+	opts = opts.normalized()
+	if ann.Users <= 0 {
+		ann.Users = 100000
+	}
+	if ann.Probes <= 0 {
+		ann.Probes = 24
+	}
+	if ann.MinRecall == 0 {
+		ann.MinRecall = 0.95
+	}
+	// The experiment defaults to a wider, sharper band structure than the
+	// engine's 64x16. Measured physics at the default 100k-user scale:
+	// cluster mates agree on ~85% of their recovered bits (background load
+	// in the shared 2^24-bit array costs them the ~92% they show on a
+	// quiet array), while a heavy probe agrees with a light background
+	// user on ~65% (mostly shared zeros). At b=128, r=20 the S-curve maps
+	// that to a per-mate collision probability of ~0.99 and a per-
+	// background-user probability of a few percent — recall above the
+	// gate while the exact scan still scores ~30-50x more candidates.
+	if ann.Bands == 0 {
+		ann.Bands = 128
+	}
+	if ann.Rows == 0 {
+		ann.Rows = 20
+	}
+
+	// The read-path configuration QueryPerf uses: 2 MiB shared array, §V
+	// virtual sketch size.
+	cfg := core.Config{
+		MemoryBits: 1 << 24,
+		SketchBits: opts.Lambda * 32 * opts.K32,
+		Seed:       uint64(opts.Seed),
+	}
+
+	// Planted heavy clusters over a light background. Heavy members carry
+	// enough items that their sketch bits rise above the background load
+	// β — banding raw recovered bits can only separate what the bits
+	// themselves separate (per-bit agreement must clear the S-curve
+	// threshold (1/b)^(1/r); see the README's tuning section).
+	const (
+		clusters    = 8
+		clusterSize = 12
+		heavyCard   = 3200
+		heavyJ      = 0.9
+		lightCard   = 8
+	)
+	heavy := clusters * clusterSize
+	if ann.Users <= heavy {
+		return nil, fmt.Errorf("experiments: topk-ann needs more than %d users, got %d", heavy, ann.Users)
+	}
+	common := gen.PlantedJaccard(heavyCard, heavyJ)
+
+	var edges []stream.Edge
+	members := make([][]stream.User, clusters)
+	for c := 0; c < clusters; c++ {
+		members[c] = make([]stream.User, clusterSize)
+		for i := range members[c] {
+			members[c][i] = stream.User(c*clusterSize + i)
+		}
+		edges = append(edges, gen.PlantedCluster(members[c], heavyCard, common, opts.Seed+int64(c))...)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 1000))
+	for u := heavy; u < ann.Users; u++ {
+		for j := 0; j < lightCard; j++ {
+			// Background items live above the clusters' ID ranges so they
+			// never collide with a planted core.
+			it := stream.Item(1<<50 + uint64(rng.Int63n(1<<40)))
+			edges = append(edges, stream.Edge{User: stream.User(u), Item: it, Op: stream.Insert})
+		}
+	}
+
+	eng, err := engine.New(engine.Config{
+		Sketch: cfg,
+		Shards: runtime.GOMAXPROCS(0),
+		ANN:    &engine.ANNConfig{Bands: ann.Bands, Rows: ann.Rows},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	if err := eng.ProcessBatch(edges); err != nil {
+		return nil, err
+	}
+	eng.Flush()
+	resolved := *eng.Config().ANN
+
+	allUsers := make([]stream.User, ann.Users)
+	for i := range allUsers {
+		allUsers[i] = stream.User(i)
+	}
+	probes := make([]stream.User, ann.Probes)
+	for i := range probes {
+		// Round-robin across clusters so every cluster is probed.
+		probes[i] = members[i%clusters][(i/clusters)%clusterSize]
+	}
+	const topN = 10
+
+	// First probe pays the full index build; everything after is steady
+	// state. Timed separately so the build cost is visible, not smeared.
+	t0 := time.Now()
+	if _, err := eng.TopKApprox(probes[0], topN); err != nil {
+		return nil, err
+	}
+	buildMS := float64(time.Since(t0).Nanoseconds()) / 1e6
+
+	// Recall + correctness gate over every probe, before any timing.
+	var recallSum, candSum float64
+	for _, p := range probes {
+		exact := eng.TopK(p, allUsers, topN)
+		approx, err := eng.TopKApprox(p, topN)
+		if err != nil {
+			return nil, err
+		}
+		inExact := make(map[stream.User]struct{}, len(exact))
+		for _, r := range exact {
+			inExact[r.User] = struct{}{}
+		}
+		hits := 0
+		for _, r := range approx {
+			if _, ok := inExact[r.User]; ok {
+				hits++
+			}
+		}
+		recallSum += float64(hits) / float64(len(exact))
+		// Subset-ordered-prefix check: ranked by the shared total order,
+		// estimates identical to the engine's own pairwise answers.
+		for i, r := range approx {
+			if i > 0 && core.RankBefore(r, approx[i-1]) {
+				return nil, fmt.Errorf("experiments: topk-ann result for %d out of order at rank %d", p, i)
+			}
+			if q := eng.Query(p, r.User); q != r.Estimate {
+				return nil, fmt.Errorf("experiments: topk-ann estimate for (%d,%d) differs from Query", p, r.User)
+			}
+		}
+	}
+	recall := recallSum / float64(len(probes))
+	if recall < ann.MinRecall {
+		return nil, fmt.Errorf("experiments: topk-ann recall@%d %.4f below gate %.4f — timing withheld (a timed row is a correctness claim); retune bands/rows",
+			topN, recall, ann.MinRecall)
+	}
+
+	// Candidate volume: how much of the population a probe actually scores.
+	st, _ := eng.ANNStats()
+	for _, p := range probes {
+		cands, err := annCandidates(eng, p)
+		if err != nil {
+			return nil, err
+		}
+		candSum += float64(len(cands))
+	}
+	candPerProbe := candSum / float64(len(probes))
+
+	// Timing: per-probe cost of each path, cycling the probes so neither
+	// path monopolises one hot user.
+	exactNS := timePerOp(2*time.Second, len(probes), func(i int) {
+		topkSink = eng.TopK(probes[i], allUsers, topN)
+	})
+	annNS := timePerOp(2*time.Second, len(probes), func(i int) {
+		topkSink, _ = eng.TopKApprox(probes[i], topN)
+	})
+
+	params := lsh.Params{Bands: resolved.Bands, Rows: resolved.Rows, Seed: resolved.Seed}
+	tbl := &Table{
+		ID:     "topk-ann",
+		Title:  "approximate top-K: banded-LSH probe vs exact scan",
+		Header: []string{"users", "bands", "rows", "recall@10", "exact ns/probe", "ann ns/probe", "speedup", "candidates/probe", "build ms"},
+	}
+	tbl.AddNote("workload: %d clusters x %d users (card=%d, within-cluster J=%.2f) + %d background users (card=%d)",
+		clusters, clusterSize, heavyCard, heavyJ, ann.Users-heavy, lightCard)
+	tbl.AddNote("sketch: m=%d bits, k=%d, seed=%d; index: b=%d r=%d (S-curve threshold %.3f)",
+		cfg.MemoryBits, cfg.SketchBits, cfg.Seed, resolved.Bands, resolved.Rows, params.Threshold())
+	tbl.AddNote("recall gate: mean recall@%d over %d probes must be >= %.2f (else no rows)", topN, len(probes), ann.MinRecall)
+	tbl.AddNote("index: %d members, %d entries, %d rebands", st.Indexed, st.Entries, st.Rebands)
+	tbl.AddRow(
+		fmt.Sprintf("%d", ann.Users),
+		fmt.Sprintf("%d", resolved.Bands),
+		fmt.Sprintf("%d", resolved.Rows),
+		fmt.Sprintf("%.4f", recall),
+		fmt.Sprintf("%.0f", exactNS),
+		fmt.Sprintf("%.0f", annNS),
+		fmt.Sprintf("%.1fx", exactNS/annNS),
+		fmt.Sprintf("%.0f", candPerProbe),
+		fmt.Sprintf("%.0f", buildMS),
+	)
+	return tbl, nil
+}
+
+// timePerOp cycles fn(i mod n) until budget elapses (at least once) and
+// returns mean ns per call.
+func timePerOp(budget time.Duration, n int, fn func(i int)) float64 {
+	fn(0) // warm
+	reps := 0
+	t0 := time.Now()
+	for time.Since(t0) < budget || reps == 0 {
+		fn(reps % n)
+		reps++
+	}
+	return float64(time.Since(t0).Nanoseconds()) / float64(reps)
+}
+
+// annCandidates reports how many candidates a probe's colliding buckets
+// yield, via a throwaway TopKApprox asking for everything.
+func annCandidates(eng *engine.Engine, p stream.User) ([]core.TopKResult, error) {
+	return eng.TopKApprox(p, math.MaxInt32)
+}

@@ -1,0 +1,280 @@
+package lsh
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/vossketch/vos/internal/hashing"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// BandIndex is a mutable banded LSH index over packed bit signatures — in
+// this module, the packed recovered virtual sketches that
+// core.VOS.RecoverSketch produces. Where Index bands a []uint64 MinHash
+// signature value-by-value and is insert-only, BandIndex bands the raw bits
+// of a packed signature (band j covers bits [j·r, (j+1)·r)) and supports
+// replacement and removal, so a serving engine can keep it in sync with a
+// stream that rewrites users in place.
+//
+// Mutation is generational: each member carries a generation counter, bucket
+// entries are stamped with the generation they were banded under, and a
+// Put or Remove simply advances the counter — the superseded entries stay
+// in their buckets and are dropped lazily when a probe walks the bucket
+// (or by a full sweep once stale entries outnumber live ones). That keeps
+// Put at O(b) hash-and-append with no backward pointers from members to
+// buckets, at the cost of bounded transient garbage.
+//
+// Memory: a member costs one map entry plus Bands bucket entries
+// (~16 bytes each before map/slice overhead), so sizing Bands is a memory
+// knob as much as a recall knob.
+//
+// BandIndex is not safe for concurrent use — probes compact buckets in
+// place. Callers serialise access (internal/engine holds one mutex across
+// maintenance and probing).
+type BandIndex struct {
+	params  Params
+	sigBits int
+	words   int // minimum signature length in words
+	buckets []map[uint64][]bandEntry
+	members map[stream.User]uint32
+	entries int // bucket entries, stale included
+	sweeps  uint64
+}
+
+// bandEntry stamps a bucket occupant with the generation it was banded
+// under; an entry whose generation trails its member's is stale.
+type bandEntry struct {
+	u   stream.User
+	gen uint32
+}
+
+// BandIndexStats counts the index's occupancy and maintenance work.
+type BandIndexStats struct {
+	// Members is the number of live indexed users.
+	Members int
+	// Entries is the total bucket entries, stale ones included; live
+	// entries are Members·Bands.
+	Entries int
+	// Sweeps counts full compactions triggered by stale-entry pressure.
+	Sweeps uint64
+}
+
+// NewBandIndex creates an empty index over packed signatures of sigBits
+// bits. The band structure must fit: Bands·Rows ≤ sigBits (banding reads
+// the first Bands·Rows bits; a recovered sketch of k bits supports any
+// b·r ≤ k).
+func NewBandIndex(params Params, sigBits int) (*BandIndex, error) {
+	if err := validateBandParams(params, sigBits); err != nil {
+		return nil, err
+	}
+	buckets := make([]map[uint64][]bandEntry, params.Bands)
+	for i := range buckets {
+		buckets[i] = make(map[uint64][]bandEntry)
+	}
+	return &BandIndex{
+		params:  params,
+		sigBits: sigBits,
+		words:   (sigBits + 63) / 64,
+		buckets: buckets,
+		members: make(map[stream.User]uint32),
+	}, nil
+}
+
+// validateBandParams checks a band structure against a packed signature
+// width, rejecting overflowing Bands·Rows products before they can be used
+// as slice math.
+func validateBandParams(p Params, sigBits int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	sig := p.SignatureLen()
+	if sig/p.Rows != p.Bands { // Bands·Rows overflowed int
+		return fmt.Errorf("lsh: bands %d x rows %d overflows", p.Bands, p.Rows)
+	}
+	if sigBits <= 0 {
+		return fmt.Errorf("lsh: signature bits must be positive, got %d", sigBits)
+	}
+	if sig > sigBits {
+		return fmt.Errorf("lsh: band structure needs %d bits (bands %d x rows %d), signature has %d",
+			sig, p.Bands, p.Rows, sigBits)
+	}
+	return nil
+}
+
+// BandKeys returns the Bands bucket keys of a packed signature of sigBits
+// bits: key j hashes bits [j·Rows, (j+1)·Rows) with the params' seed. It
+// validates the band structure and the slice length, so arbitrary (even
+// adversarial) inputs error instead of reading out of bounds — the
+// contract FuzzBandExtraction pins.
+func BandKeys(p Params, words []uint64, sigBits int) ([]uint64, error) {
+	if err := validateBandParams(p, sigBits); err != nil {
+		return nil, err
+	}
+	if len(words) < (sigBits+63)/64 {
+		return nil, fmt.Errorf("lsh: packed signature has %d words, %d bits need %d",
+			len(words), sigBits, (sigBits+63)/64)
+	}
+	keys := make([]uint64, p.Bands)
+	for band := range keys {
+		keys[band] = packedBandKey(p, band, words)
+	}
+	return keys, nil
+}
+
+// packedBandKey hashes one band's bit range into a bucket key, folding the
+// band's bits in ≤64-bit chunks. Callers have validated that the band's
+// bits lie inside the slice.
+func packedBandKey(p Params, band int, words []uint64) uint64 {
+	h := hashing.Hash64(uint64(band), p.Seed)
+	off := band * p.Rows
+	for rem := p.Rows; rem > 0; {
+		n := rem
+		if n > 64 {
+			n = 64
+		}
+		h = hashing.Hash64(h^extractBits(words, off, n), p.Seed)
+		off += n
+		rem -= n
+	}
+	return h
+}
+
+// extractBits returns bits [off, off+n) of the packed words, n ≤ 64,
+// little-endian within and across words (bit i lives at words[i/64] >>
+// (i%64)). The caller guarantees off+n ≤ 64·len(words).
+func extractBits(words []uint64, off, n int) uint64 {
+	w := off >> 6
+	sh := uint(off & 63)
+	v := words[w] >> sh
+	if sh != 0 && w+1 < len(words) {
+		v |= words[w+1] << (64 - sh)
+	}
+	if n < 64 {
+		v &= 1<<uint(n) - 1
+	}
+	return v
+}
+
+// Params returns the index's band structure.
+func (ix *BandIndex) Params() Params { return ix.params }
+
+// SignatureBits returns the packed signature width the index was built for.
+func (ix *BandIndex) SignatureBits() int { return ix.sigBits }
+
+// Len returns the number of live indexed users.
+func (ix *BandIndex) Len() int { return len(ix.members) }
+
+// Has reports whether u is currently indexed.
+func (ix *BandIndex) Has(u stream.User) bool {
+	_, ok := ix.members[u]
+	return ok
+}
+
+// ForEachMember calls fn for every live member in unspecified order,
+// stopping early when fn returns false. fn must not mutate the index.
+func (ix *BandIndex) ForEachMember(fn func(u stream.User) bool) {
+	for u := range ix.members {
+		if !fn(u) {
+			return
+		}
+	}
+}
+
+// Stats returns occupancy and maintenance counters.
+func (ix *BandIndex) Stats() BandIndexStats {
+	return BandIndexStats{Members: len(ix.members), Entries: ix.entries, Sweeps: ix.sweeps}
+}
+
+// Put indexes (or re-indexes) user u under the packed signature. A
+// previous banding of u, if any, is superseded in place: its bucket
+// entries become stale and are compacted lazily.
+func (ix *BandIndex) Put(u stream.User, words []uint64) error {
+	if len(words) < ix.words {
+		return fmt.Errorf("lsh: packed signature has %d words, index needs %d", len(words), ix.words)
+	}
+	gen := ix.members[u] + 1
+	ix.members[u] = gen
+	for band := range ix.buckets {
+		key := packedBandKey(ix.params, band, words)
+		ix.buckets[band][key] = append(ix.buckets[band][key], bandEntry{u: u, gen: gen})
+	}
+	ix.entries += ix.params.Bands
+	ix.maybeSweep()
+	return nil
+}
+
+// Remove drops user u from the index. Its bucket entries become stale and
+// are compacted lazily; removing an absent user is a no-op.
+func (ix *BandIndex) Remove(u stream.User) {
+	delete(ix.members, u)
+	ix.maybeSweep()
+}
+
+// Candidates returns the distinct live users sharing at least one band
+// bucket with the packed signature, excluding self, sorted for
+// determinism. Stale entries met along the way are compacted out of their
+// buckets as a side effect.
+func (ix *BandIndex) Candidates(self stream.User, words []uint64) ([]stream.User, error) {
+	if len(words) < ix.words {
+		return nil, fmt.Errorf("lsh: packed signature has %d words, index needs %d", len(words), ix.words)
+	}
+	seen := make(map[stream.User]struct{})
+	for band := range ix.buckets {
+		key := packedBandKey(ix.params, band, words)
+		entries, ok := ix.buckets[band][key]
+		if !ok {
+			continue
+		}
+		live := entries[:0]
+		for _, e := range entries {
+			if ix.members[e.u] != e.gen {
+				continue // superseded or removed
+			}
+			live = append(live, e)
+			if e.u != self {
+				seen[e.u] = struct{}{}
+			}
+		}
+		switch {
+		case len(live) == 0:
+			delete(ix.buckets[band], key)
+		case len(live) != len(entries):
+			ix.buckets[band][key] = live
+		}
+		ix.entries -= len(entries) - len(live)
+	}
+	out := make([]stream.User, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// maybeSweep compacts every bucket when stale entries outnumber live ones
+// — the backstop that bounds garbage from members that churn without their
+// buckets ever being probed. Amortised O(1) per mutation: a sweep is O(n)
+// and at least n/2 mutations separate consecutive sweeps.
+func (ix *BandIndex) maybeSweep() {
+	liveTarget := len(ix.members) * ix.params.Bands
+	if ix.entries <= 2*liveTarget || ix.entries <= 64*ix.params.Bands {
+		return
+	}
+	for band := range ix.buckets {
+		for key, entries := range ix.buckets[band] {
+			live := entries[:0]
+			for _, e := range entries {
+				if ix.members[e.u] == e.gen {
+					live = append(live, e)
+				}
+			}
+			if len(live) == 0 {
+				delete(ix.buckets[band], key)
+			} else {
+				ix.buckets[band][key] = live
+			}
+		}
+	}
+	ix.entries = liveTarget
+	ix.sweeps++
+}

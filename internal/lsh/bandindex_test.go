@@ -1,0 +1,279 @@
+package lsh
+
+import (
+	"testing"
+
+	"github.com/vossketch/vos/internal/core"
+	"github.com/vossketch/vos/internal/gen"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+func TestBandIndexValidation(t *testing.T) {
+	if _, err := NewBandIndex(Params{Bands: 0, Rows: 4}, 64); err == nil {
+		t.Error("zero bands accepted")
+	}
+	if _, err := NewBandIndex(Params{Bands: 4, Rows: 4}, 0); err == nil {
+		t.Error("zero signature bits accepted")
+	}
+	if _, err := NewBandIndex(Params{Bands: 4, Rows: 4}, 15); err == nil {
+		t.Error("band structure wider than the signature accepted")
+	}
+	// Bands·Rows overflowing int must be rejected, not used as slice math.
+	if _, err := NewBandIndex(Params{Bands: 1 << 62, Rows: 16}, 64); err == nil {
+		t.Error("overflowing bands x rows accepted")
+	}
+	ix, err := NewBandIndex(Params{Bands: 4, Rows: 4, Seed: 9}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Params().Bands != 4 || ix.SignatureBits() != 64 {
+		t.Fatalf("index misconfigured: %+v / %d", ix.Params(), ix.SignatureBits())
+	}
+	if err := ix.Put(1, []uint64{}); err == nil {
+		t.Error("short packed signature accepted by Put")
+	}
+	if _, err := ix.Candidates(1, []uint64{}); err == nil {
+		t.Error("short packed signature accepted by Candidates")
+	}
+}
+
+func TestBandKeysDeterministicAndValidated(t *testing.T) {
+	p := Params{Bands: 8, Rows: 16, Seed: 3}
+	words := []uint64{0xdeadbeefcafef00d, 0x0123456789abcdef}
+	a, err := BandKeys(p, words, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BandKeys(p, words, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != p.Bands {
+		t.Fatalf("got %d keys, want %d", len(a), p.Bands)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("band %d key not deterministic", i)
+		}
+	}
+	// A single flipped bit must change exactly its band's key.
+	flipped := []uint64{words[0] ^ (1 << 20), words[1]}
+	c, err := BandKeys(p, flipped, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if want := i == 20/p.Rows; (a[i] != c[i]) != want {
+			t.Fatalf("bit 20 flip changed band %d (want only band %d)", i, 20/p.Rows)
+		}
+	}
+	if _, err := BandKeys(p, words[:1], 128); err == nil {
+		t.Error("short slice accepted")
+	}
+	if _, err := BandKeys(Params{Bands: 3, Rows: 3}, words, -1); err == nil {
+		t.Error("negative signature bits accepted")
+	}
+}
+
+// TestExtractBits pins the little-endian cross-word extraction against a
+// scalar per-bit reference.
+func TestExtractBits(t *testing.T) {
+	words := []uint64{0xdeadbeefcafef00d, 0x0123456789abcdef, 0xfedcba9876543210}
+	bitAt := func(i int) uint64 { return (words[i/64] >> (i % 64)) & 1 }
+	for _, tc := range []struct{ off, n int }{
+		{0, 64}, {0, 1}, {63, 1}, {63, 2}, {60, 24}, {64, 64}, {100, 64}, {127, 33}, {150, 42},
+	} {
+		got := extractBits(words, tc.off, tc.n)
+		var want uint64
+		for j := 0; j < tc.n; j++ {
+			want |= bitAt(tc.off+j) << j
+		}
+		if got != want {
+			t.Errorf("extractBits(off=%d, n=%d) = %x, want %x", tc.off, tc.n, got, want)
+		}
+	}
+}
+
+func TestBandIndexPutRemoveCandidates(t *testing.T) {
+	ix, err := NewBandIndex(Params{Bands: 4, Rows: 8, Seed: 7}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := []uint64{0x1122334455667788}
+	other := []uint64{^uint64(0)}
+	if err := ix.Put(1, sig); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Put(2, sig); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Put(3, other); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 3 || !ix.Has(2) || ix.Has(9) {
+		t.Fatalf("membership broken: len=%d", ix.Len())
+	}
+	cands, err := ix.Candidates(1, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0] != 2 {
+		t.Fatalf("Candidates = %v, want [2]", cands)
+	}
+	// Replacement: moving user 2 to a different signature must retire its
+	// old banding — no ghost candidacy under the old signature.
+	if err := ix.Put(2, other); err != nil {
+		t.Fatal(err)
+	}
+	cands, _ = ix.Candidates(1, sig)
+	if len(cands) != 0 {
+		t.Fatalf("superseded banding still surfaces: %v", cands)
+	}
+	cands, _ = ix.Candidates(3, other)
+	if len(cands) != 1 || cands[0] != 2 {
+		t.Fatalf("re-banded user not found: %v", cands)
+	}
+	// Removal: lazy, but never visible.
+	ix.Remove(2)
+	if ix.Has(2) || ix.Len() != 2 {
+		t.Fatalf("remove broken: len=%d", ix.Len())
+	}
+	cands, _ = ix.Candidates(3, other)
+	if len(cands) != 0 {
+		t.Fatalf("removed user still surfaces: %v", cands)
+	}
+	ix.Remove(42) // absent: no-op
+	// ForEachMember sees exactly the live members, early stop honoured.
+	seen := map[stream.User]bool{}
+	ix.ForEachMember(func(u stream.User) bool { seen[u] = true; return true })
+	if len(seen) != 2 || !seen[1] || !seen[3] {
+		t.Fatalf("ForEachMember = %v", seen)
+	}
+	calls := 0
+	ix.ForEachMember(func(stream.User) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("early stop ignored: %d calls", calls)
+	}
+}
+
+// TestBandIndexCompaction pins that probing compacts stale entries in
+// place and that churn without probes triggers the sweep backstop, so the
+// entry count stays bounded by a constant factor of the live membership.
+func TestBandIndexCompaction(t *testing.T) {
+	p := Params{Bands: 2, Rows: 4, Seed: 5}
+	ix, err := NewBandIndex(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := []uint64{0xa5}
+	// Churn one user far past the sweep threshold while indexing enough
+	// members that the small-index exemption does not apply.
+	for u := stream.User(0); u < 200; u++ {
+		if err := ix.Put(u, []uint64{uint64(u)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		if err := ix.Put(1, sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ix.Stats()
+	if st.Sweeps == 0 {
+		t.Fatalf("churn never swept: %+v", st)
+	}
+	if max := 2 * ix.Len() * p.Bands; st.Entries > max {
+		t.Fatalf("entries %d exceed sweep bound %d", st.Entries, max)
+	}
+	// Probe-side compaction: superseded entries met on a probe are dropped
+	// from their buckets. A fresh index below the sweep backstop's
+	// small-index exemption keeps the sweep out of the way, so the probe is
+	// the only thing that can reclaim them.
+	ix2, err := NewBandIndex(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := ix2.Put(1, sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix2.Put(2, sig); err != nil {
+		t.Fatal(err)
+	}
+	before := ix2.Stats().Entries
+	if _, err := ix2.Candidates(2, sig); err != nil {
+		t.Fatal(err)
+	}
+	after := ix2.Stats().Entries
+	if want := 2 * p.Bands; after != want || after >= before {
+		t.Fatalf("probe did not compact to live entries: %d -> %d (want %d)", before, after, want)
+	}
+}
+
+// TestBandIndexCollisionProbabilityBound is the S-curve property test over
+// real recovered sketches: plant pairs whose per-bit agreement clears the
+// S-curve threshold (1/b)^(1/r) by a margin, band them under many
+// independent seeds, and check the empirical collision rate is at least
+// the analytic CollisionProbability bound (minus sampling slack). The
+// bound treats band bits as independent samples of the agreement rate;
+// recovered-sketch bits are one parity bit per virtual slot, which is
+// exactly that.
+func TestBandIndexCollisionProbabilityBound(t *testing.T) {
+	p := Params{Bands: 8, Rows: 4}
+	const trials = 150
+	const margin = 0.05
+	threshold := p.Threshold()
+
+	collisions, prSum := 0, 0.0
+	for trial := 0; trial < trials; trial++ {
+		sk := core.MustNew(core.Config{MemoryBits: 1 << 16, SketchBits: 512, Seed: uint64(trial + 1)})
+		common := gen.PlantedJaccard(400, 0.85)
+		for _, e := range gen.PlantedPair(1, 2, 400, 400, common, int64(trial)) {
+			sk.Process(e)
+		}
+		ra, rb := sk.RecoverSketch(1), sk.RecoverSketch(2)
+		wa, wb := ra.Words(), rb.Words()
+
+		// Per-bit agreement over the banded range, the S-curve's x-axis.
+		bits := p.SignatureLen()
+		agree := 0
+		for j := 0; j < bits; j++ {
+			if (wa[j/64]>>(j%64))&1 == (wb[j/64]>>(j%64))&1 {
+				agree++
+			}
+		}
+		pAgree := float64(agree) / float64(bits)
+		if pAgree < threshold+margin {
+			// The workload is planted to clear the threshold; a trial that
+			// does not is a setup bug, not a property violation.
+			t.Fatalf("trial %d: agreement %.3f below threshold %.3f + margin", trial, pAgree, threshold)
+		}
+		prSum += p.CollisionProbability(pAgree)
+
+		ix, err := NewBandIndex(Params{Bands: p.Bands, Rows: p.Rows, Seed: uint64(1000 + trial)}, sk.Config().SketchBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Put(2, wb); err != nil {
+			t.Fatal(err)
+		}
+		cands, err := ix.Candidates(1, wa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cands {
+			if c == 2 {
+				collisions++
+			}
+		}
+	}
+	empirical := float64(collisions) / trials
+	bound := prSum / trials
+	// Three-sigma sampling slack on a Bernoulli mean near the bound.
+	slack := 3 * 0.5 / 12.2 // ≈ 3·sqrt(p(1-p)/trials) at worst case p=0.5
+	if empirical < bound-slack {
+		t.Fatalf("empirical collision rate %.3f below CollisionProbability bound %.3f - %.3f",
+			empirical, bound, slack)
+	}
+}

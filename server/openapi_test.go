@@ -95,7 +95,9 @@ func TestOpenAPIStructure(t *testing.T) {
 		ContentTypeBinary,                  // binary ingest content type
 		ContentTypeNDJSON,                  // NDJSON ingest content type
 		`"411"`, `"413"`, `"429"`, `"499"`, // backpressure + cancel statuses
-		"draining", // drain-vs-unavailable semantics
+		"draining",           // drain-vs-unavailable semantics
+		"enum: [exact, ann]", // the top-K candidate-generation mode
+		`"501"`,              // ann/checkpoint capability degradation
 	} {
 		if !strings.Contains(spec, anchor) {
 			t.Errorf("spec is missing required anchor %q", anchor)

@@ -608,20 +608,51 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad JSON body: "+err.Error())
 		return
 	}
-	if req.N <= 0 || len(req.Candidates) == 0 {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "need n > 0 and a non-empty candidates list")
-		return
-	}
-	if !s.checkAt(w, r, req.At) {
-		return
-	}
-	candidates := make([]vos.User, len(req.Candidates))
-	for i, c := range req.Candidates {
-		candidates[i] = vos.User(c)
-	}
-	top, err := s.svc.TopK(r.Context(), vos.User(req.User), candidates, req.N)
-	if err != nil {
-		s.writeServiceError(w, err)
+	var top []vos.TopKResult
+	switch req.Mode {
+	case "", "exact":
+		if req.N <= 0 || len(req.Candidates) == 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "need n > 0 and a non-empty candidates list")
+			return
+		}
+		if !s.checkAt(w, r, req.At) {
+			return
+		}
+		candidates := make([]vos.User, len(req.Candidates))
+		for i, c := range req.Candidates {
+			candidates[i] = vos.User(c)
+		}
+		var err error
+		top, err = s.svc.TopK(r.Context(), vos.User(req.User), candidates, req.N)
+		if err != nil {
+			s.writeServiceError(w, err)
+			return
+		}
+	case "ann":
+		if req.N <= 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "need n > 0")
+			return
+		}
+		if len(req.Candidates) != 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, `mode "ann" is candidates-free; omit the candidates list`)
+			return
+		}
+		ann, ok := s.svc.(vos.ApproxTopK)
+		if !ok {
+			writeError(w, http.StatusNotImplemented, CodeUnsupported, "backing service does not support approximate top-K")
+			return
+		}
+		if !s.checkAt(w, r, req.At) {
+			return
+		}
+		var err error
+		top, err = ann.TopKApprox(r.Context(), vos.User(req.User), req.N)
+		if err != nil {
+			s.writeServiceError(w, err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf(`mode must be "exact" or "ann", got %q`, req.Mode))
 		return
 	}
 	out := make([]TopKResultJSON, len(top))
@@ -733,6 +764,10 @@ func statusFor(err error) (int, string) {
 	case errors.Is(err, vos.ErrEngineNoDurability):
 		// A memory-only engine satisfies Checkpointer but cannot deliver:
 		// the capability, not the instance, is missing.
+		return http.StatusNotImplemented, CodeUnsupported
+	case errors.Is(err, vos.ErrNoANN):
+		// Same shape for approximate top-K: an engine-backed service
+		// satisfies ApproxTopK, but the engine has no band index.
 		return http.StatusNotImplemented, CodeUnsupported
 	case errors.Is(err, vos.ErrOutsideWindow):
 		// Well-formed but unanswerable: the requested instant's edges have

@@ -109,11 +109,18 @@ func EstimateToWire(e vos.Estimate) EstimateJSON {
 // service answers from the live window only if At is inside it and
 // replies "outside_window" otherwise; an unwindowed service rejects At
 // with "bad_request" (it has no notion of retained time).
+//
+// Mode selects the scan: "" or "exact" (the default) ranks the supplied
+// Candidates exactly; "ann" is candidates-free — the service generates
+// candidates from its approximate top-K index, so Candidates must be
+// empty ("bad_request" otherwise). A service without the index answers
+// mode "ann" with 501 "unsupported"; any other mode is "bad_request".
 type TopKRequest struct {
 	User       uint64   `json:"user"`
 	Candidates []uint64 `json:"candidates"`
 	N          int      `json:"n"`
 	At         float64  `json:"at,omitempty"`
+	Mode       string   `json:"mode,omitempty"`
 }
 
 // TopKResultJSON is one ranked candidate of the /v1/topk response.

@@ -80,6 +80,24 @@ type Windowed interface {
 	AdvanceWindow(ctx context.Context, t time.Time) error
 }
 
+// ApproxTopK is the optional approximate top-K extension of
+// SimilarityService: services backed by an Engine with EngineConfig.ANN
+// answer candidates-free top-K probes from the banded-LSH index instead of
+// scanning a caller-supplied candidate list. The server probes for it to
+// serve POST /v1/topk with mode "ann"; package client implements it over
+// that route. TopKApprox returns ErrNoANN when the backing engine has no
+// ANN index configured, and ErrClosed once it has shut down.
+//
+// The approximation is in candidate generation only: every returned
+// estimate is computed exactly against the current state and ranked with
+// the same total order as TopK, so the result is a subset-ordered prefix
+// of the exact scan. Recall depends on the band parameters and the
+// workload's similarity structure — see the README's "Approximate top-K"
+// section and the topk-ann experiment.
+type ApproxTopK interface {
+	TopKApprox(ctx context.Context, u User, n int) ([]TopKResult, error)
+}
+
 // ErrQueryUnavailable is returned by query paths that cannot answer in the
 // backing engine's current state (e.g. Engine.QueryLocal after checkpoint
 // recovery). Callers should fall back to the merged-snapshot query path.
@@ -137,6 +155,16 @@ func (s *engineService) TopK(ctx context.Context, u User, candidates []User, n i
 		return nil, err
 	}
 	return s.e.TopKContext(ctx, u, candidates, n)
+}
+
+// TopKApprox implements ApproxTopK; ErrNoANN on an engine without
+// EngineConfig.ANN. Like the other reads it flushes first, so the probe's
+// maintenance pass observes every acknowledged write.
+func (s *engineService) TopKApprox(ctx context.Context, u User, n int) ([]TopKResult, error) {
+	if err := s.flush(ctx); err != nil {
+		return nil, err
+	}
+	return s.e.TopKApproxContext(ctx, u, n)
 }
 
 func (s *engineService) Cardinality(ctx context.Context, u User) (int64, error) {
