@@ -12,8 +12,8 @@
 //	vosbench -experiment window -buckets 8 -json
 //
 // Experiments: fig2a, fig2b, fig3a, fig3b, fig3c, fig3d, abl-lambda,
-// abl-load, abl-dense, abl-delbias, compare, throughput, query, window,
-// topk-ann, all.
+// abl-load, abl-dense, abl-delbias, compare, throughput, query, hashing,
+// window, topk-ann, all.
 //
 // The throughput experiment measures the sharded ingestion engine: for
 // each shard count it ingests the runtime workload through vos.Engine,
@@ -26,6 +26,14 @@
 // materialized path, the warm-cache steady state, and the engine's
 // parallel fan-out — each parity-checked against the per-bit oracle
 // before it is timed.
+//
+// The hashing experiment measures the hash layer and the compare kernels:
+// position-table fill cost per family (classic k-seeded vs DKT-style
+// fast), the blocked gather/XOR/popcount kernels against their scalar
+// references, cold pair-query cost per family, and ingest ns/edge —
+// every row parity-gated (bulk fill vs scalar definition, blocked vs
+// reference kernels, planted-pair accuracy for both families, fast
+// materialized vs per-bit queries) before it is timed.
 //
 // The window experiment measures the sliding-window subsystem: bucket
 // rotation cost at growing fill levels (rotation is O(sketch), so the
@@ -56,7 +64,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (fig2a fig2b fig3a fig3b fig3c fig3d abl-lambda abl-load abl-dense abl-delbias compare throughput query window topk-ann all)")
+		experiment = flag.String("experiment", "all", "experiment id (fig2a fig2b fig3a fig3b fig3c fig3d abl-lambda abl-load abl-dense abl-delbias compare throughput query hashing window topk-ann all)")
 		scale      = flag.Float64("scale", 0.01, "dataset profile scale factor (paper scale = 1.0)")
 		seed       = flag.Int64("seed", 2, "workload seed")
 		k32        = flag.Int("k", 100, "registers per user for the baselines (paper: 100)")
@@ -204,6 +212,9 @@ func run(id string, opts experiments.Options) ([]*experiments.Table, error) {
 		return one(t, err)
 	case "query":
 		t, err := experiments.QueryPerf(opts)
+		return one(t, err)
+	case "hashing":
+		t, err := experiments.HashingPerf(opts)
 		return one(t, err)
 	case "all":
 		var out []*experiments.Table

@@ -66,6 +66,7 @@ func run(args []string, stdout io.Writer) error {
 		memoryBits = fs.Uint64("memory-bits", 1<<22, "m, shared array size in bits")
 		sketchBits = fs.Int("sketch-bits", 4096, "k, virtual sketch size in bits")
 		seed       = fs.Uint64("seed", 1, "sketch seed (identical config required to merge or recover)")
+		hashFamily = fs.String("hash-family", "classic", `position hash family: "classic" or "fast" (part of the sketch identity; must match any existing checkpoint)`)
 
 		shards     = fs.Int("shards", 0, "ingest shards (0 = GOMAXPROCS)")
 		batchSize  = fs.Int("batch-size", 0, "edges per shard batch (0 = default 256)")
@@ -97,8 +98,12 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	family, err := vos.ParseHashFamily(*hashFamily)
+	if err != nil {
+		return fmt.Errorf("vosd: -hash-family: %w", err)
+	}
 	cfg := vos.EngineConfig{
-		Sketch:             vos.Config{MemoryBits: *memoryBits, SketchBits: *sketchBits, Seed: *seed},
+		Sketch:             vos.Config{MemoryBits: *memoryBits, SketchBits: *sketchBits, Seed: *seed, Family: family},
 		Shards:             *shards,
 		BatchSize:          *batchSize,
 		QueueSize:          *queueSize,
@@ -126,7 +131,6 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("vosd: -ann-bands/-ann-rows/-ann-reband-budget require -ann")
 	}
 	var eng *vos.Engine
-	var err error
 	if *dir != "" {
 		d := vos.DurabilityConfig{SyncEveryN: *syncEveryN, SegmentBytes: *segBytes}
 		switch *syncMode {

@@ -163,12 +163,23 @@ func (b *Bitset) XorCountWords(ws []uint64) uint64 {
 	if len(ws) != len(b.words) {
 		panic("bitset: word-count mismatch in XorCountWords")
 	}
-	ones := uint64(0)
-	for i, w := range b.words {
-		ones += uint64(bits.OnesCount64(w ^ ws[i]))
-	}
-	return ones
+	return xorCountWordsKernel(b.words, ws)
 }
+
+// XorCountWordsRef is XorCountWords pinned to the portable reference
+// kernel, regardless of platform dispatch — for cross-checking and for
+// benchmarking the dispatch win.
+func (b *Bitset) XorCountWordsRef(ws []uint64) uint64 {
+	if len(ws) != len(b.words) {
+		panic("bitset: word-count mismatch in XorCountWords")
+	}
+	return xorCountWordsRef(b.words, ws)
+}
+
+// FastKernels reports whether this build dispatches the public methods to
+// the blocked kernels (false under the purego build tag and on targets
+// without a tuned shape).
+func FastKernels() bool { return fastKernels }
 
 // UnsafeWords exposes the backing word slice, least-significant bit first,
 // tail bits zero, WITHOUT copying — "Unsafe" because the slice aliases the
@@ -208,18 +219,16 @@ func FromWordsCountedUnsafe(ws []uint64, n, ones uint64) *Bitset {
 // a large shared array. Every index must be in [0, b.Len()).
 func (b *Bitset) Gather(idx []uint64) *Bitset {
 	out := New(uint64(len(idx)))
-	words, n := b.words, b.n
-	for j, p := range idx {
-		if p >= n {
-			b.check(p)
-		}
-		out.words[j>>6] |= ((words[p>>6] >> (p & 63)) & 1) << (uint(j) & 63)
-	}
-	ones := uint64(0)
-	for _, w := range out.words {
-		ones += uint64(bits.OnesCount64(w))
-	}
-	out.ones = ones
+	out.ones = gatherWords(out.words, b.words, b.n, idx)
+	return out
+}
+
+// GatherRef is Gather pinned to the portable reference kernel, regardless
+// of platform dispatch — for cross-checking and for benchmarking the
+// dispatch win.
+func (b *Bitset) GatherRef(idx []uint64) *Bitset {
+	out := New(uint64(len(idx)))
+	out.ones = gatherWordsRef(out.words, b.words, b.n, idx)
 	return out
 }
 
@@ -236,34 +245,17 @@ func (b *Bitset) GatherXorCount(idx []uint64, o *Bitset) uint64 {
 	if o.n != uint64(len(idx)) {
 		panic("bitset: length mismatch in GatherXorCount")
 	}
-	words, n := b.words, b.n
-	ones := uint64(0)
-	var acc uint64
-	j := 0
-	for len(idx)-j >= 64 {
-		acc = 0
-		for s := 0; s < 64; s++ {
-			p := idx[j+s]
-			if p >= n {
-				b.check(p)
-			}
-			acc |= ((words[p>>6] >> (p & 63)) & 1) << uint(s)
-		}
-		ones += uint64(bits.OnesCount64(acc ^ o.words[j>>6]))
-		j += 64
+	return gatherXorCountWords(b.words, b.n, idx, o.words)
+}
+
+// GatherXorCountRef is GatherXorCount pinned to the portable reference
+// kernel, regardless of platform dispatch — for cross-checking and for
+// benchmarking the dispatch win.
+func (b *Bitset) GatherXorCountRef(idx []uint64, o *Bitset) uint64 {
+	if o.n != uint64(len(idx)) {
+		panic("bitset: length mismatch in GatherXorCount")
 	}
-	if j < len(idx) {
-		acc = 0
-		for s := 0; j+s < len(idx); s++ {
-			p := idx[j+s]
-			if p >= n {
-				b.check(p)
-			}
-			acc |= ((words[p>>6] >> (p & 63)) & 1) << uint(s)
-		}
-		ones += uint64(bits.OnesCount64(acc ^ o.words[j>>6]))
-	}
-	return ones
+	return gatherXorCountRef(b.words, b.n, idx, o.words)
 }
 
 // check panics when i is out of range. The tail bits of the last word are

@@ -36,7 +36,7 @@ func (v *VOS) Positions(u stream.User) []uint64 {
 		}
 	}
 	p := make([]uint64, v.cfg.SketchBits)
-	v.slots.HashRangeInto(p, uint64(u), v.cfg.MemoryBits)
+	v.fillPositions(p, u)
 	if v.pos != nil {
 		v.pos.Put(u, p)
 	}
@@ -59,7 +59,7 @@ func (v *VOS) lookupPositions(u stream.User) (pos []uint64, scratch bool) {
 		buf := make([]uint64, v.cfg.SketchBits)
 		p = &buf
 	}
-	v.slots.HashRangeInto(*p, uint64(u), v.cfg.MemoryBits)
+	v.fillPositions(*p, u)
 	return *p, true
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/vossketch/vos/internal/hashing"
 	"github.com/vossketch/vos/internal/stream"
 )
 
@@ -31,6 +32,16 @@ func FuzzUnmarshalVOS(f *testing.F) {
 	flipped := append([]byte(nil), seed...)
 	flipped[5] ^= 0x40
 	f.Add(flipped)
+	// A fast-family sketch (nonzero family tag in the header) and a seed
+	// with an unknown family tag, so the family-validation branch is in the
+	// corpus from the start.
+	vf := MustNew(Config{MemoryBits: 1024, SketchBits: 64, Seed: 3, Family: hashing.KindFast})
+	vf.Process(edgeFor(1, 2, true))
+	fastSeed, _ := vf.MarshalBinary()
+	f.Add(fastSeed)
+	badFam := append([]byte(nil), seed...)
+	badFam[19] = 0x07 // SketchBits high byte = family tag
+	f.Add(badFam)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := UnmarshalVOS(data)

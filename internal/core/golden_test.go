@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/vossketch/vos/internal/hashing"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden fixture files")
@@ -67,6 +69,64 @@ func TestGoldenVOS1Format(t *testing.T) {
 	}
 	if got := restored.Cardinality(3); got != 0 {
 		t.Fatalf("fixture Cardinality(3) = %d, want 0 (cancelled out)", got)
+	}
+	if got, want := restored.Query(1, 2), ref.Query(1, 2); got != want {
+		t.Fatalf("fixture Query(1,2) = %+v, want %+v", got, want)
+	}
+}
+
+// goldenFastSketch is goldenSketch under the fast hash family: same edge
+// sequence, different position generation, family tag in the header.
+func goldenFastSketch() *VOS {
+	v := MustNew(Config{MemoryBits: 512, SketchBits: 32, Seed: 99, Family: hashing.KindFast})
+	for i := uint64(0); i < 8; i++ {
+		v.Process(edgeFor(1, i, true))
+	}
+	for i := uint64(4); i < 10; i++ {
+		v.Process(edgeFor(2, i, true))
+	}
+	v.Process(edgeFor(1, 7, false))
+	v.Process(edgeFor(3, 1, true))
+	v.Process(edgeFor(3, 1, false))
+	return v
+}
+
+// TestGoldenVOS1FastFamily pins the fast-family wire encoding (and, by
+// construction, the fast position generator itself: any change to its
+// output moves array bits and shows up as a fixture diff). This is the
+// compatibility guarantee that checkpointed fast-family sketches stay
+// loadable across releases.
+func TestGoldenVOS1FastFamily(t *testing.T) {
+	path := filepath.Join("testdata", "vos1_sketch_fast.golden")
+	data, err := goldenFastSketch().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read fixture (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("fast-family VOS1 encoding changed: encoder produced %d bytes, fixture has %d.\n"+
+			"This breaks previously checkpointed fast-family sketches. If intentional,\n"+
+			"bump the family tag (treat it as a new family) and regenerate with -update.",
+			len(data), len(want))
+	}
+	restored, err := UnmarshalVOS(want)
+	if err != nil {
+		t.Fatalf("decode fixture: %v", err)
+	}
+	ref := goldenFastSketch()
+	if restored.Config() != ref.Config() || restored.Stats() != ref.Stats() {
+		t.Fatalf("fixture decodes to %+v, want %+v", restored.Stats(), ref.Stats())
+	}
+	if restored.Config().Family != hashing.KindFast {
+		t.Fatalf("fixture family = %v, want fast", restored.Config().Family)
 	}
 	if got, want := restored.Query(1, 2), ref.Query(1, 2); got != want {
 		t.Fatalf("fixture Query(1,2) = %+v, want %+v", got, want)

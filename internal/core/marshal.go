@@ -7,17 +7,34 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/vossketch/vos/internal/hashing"
 	"github.com/vossketch/vos/internal/stream"
 )
 
 // Serialization lets a sketch built by a streaming worker be shipped to a
 // query server or checkpointed. Format: magic, config, cardinality table
 // (sorted by user for determinism), then the bit array.
+//
+// The hash family rides in the high byte of the SketchBits word — that
+// byte was always zero before families existed (validate bounds k below
+// 2^48), so KindClassic sketches serialize byte-identically to the
+// pre-family format, and a pre-family decoder reading a KindFast sketch
+// sees an absurd SketchBits and fails its k ≤ m check instead of decoding
+// positions with the wrong family.
 
 var vosMagic = [4]byte{'V', 'O', 'S', '1'}
 
 // ErrCorrupt reports an invalid serialized sketch.
 var ErrCorrupt = errors.New("core: corrupt serialized sketch")
+
+// ErrFamilyMismatch reports an attempt to combine or load sketch state
+// across different hash families — refused loudly, because the two
+// families place virtual slots at unrelated array positions and a silent
+// merge would XOR desynchronized state. Use errors.Is to detect it.
+var ErrFamilyMismatch = errors.New("core: hash family mismatch")
+
+// familyShift positions the family tag in the SketchBits header word.
+const familyShift = 56
 
 // MarshalBinary encodes the full sketch state.
 func (v *VOS) MarshalBinary() ([]byte, error) {
@@ -30,7 +47,7 @@ func (v *VOS) MarshalBinary() ([]byte, error) {
 		buf.Write(scratch[:])
 	}
 	writeU64(v.cfg.MemoryBits)
-	writeU64(uint64(v.cfg.SketchBits))
+	writeU64(uint64(v.cfg.SketchBits) | uint64(v.cfg.Family)<<familyShift)
 	writeU64(v.cfg.Seed)
 
 	users := make([]stream.User, 0, len(v.card))
@@ -90,10 +107,18 @@ func UnmarshalVOS(data []byte) (*VOS, error) {
 	if mem/8 > uint64(len(data)) {
 		return nil, fmt.Errorf("%w: MemoryBits %d cannot fit in %d payload bytes", ErrCorrupt, mem, len(data))
 	}
+	fam := hashing.Kind(kBits >> familyShift)
+	kBits &= (1 << familyShift) - 1
+	if !fam.Valid() {
+		// Wrapped as corruption (the fuzz contract: every decode failure is
+		// ErrCorrupt), with ErrFamilyMismatch in the chain so callers probing
+		// for family trouble specifically can detect it too.
+		return nil, fmt.Errorf("%w: unknown hash family tag %d (%w)", ErrCorrupt, uint8(fam), ErrFamilyMismatch)
+	}
 	if kBits > mem {
 		return nil, fmt.Errorf("%w: SketchBits %d exceeds MemoryBits %d", ErrCorrupt, kBits, mem)
 	}
-	cfg := Config{MemoryBits: mem, SketchBits: int(kBits), Seed: seed}
+	cfg := Config{MemoryBits: mem, SketchBits: int(kBits), Seed: seed, Family: fam}
 	v, err := New(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)

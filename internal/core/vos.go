@@ -44,6 +44,16 @@ type Config struct {
 	// Seed makes the sketch reproducible; two sketches are mergeable and
 	// comparable only when built from identical Config values.
 	Seed uint64
+	// Family selects the position-generation backend for the k user hashes
+	// f_1 … f_k. The zero value (hashing.KindClassic) is the original
+	// k-independent-seeds family; hashing.KindFast fills a position table
+	// with O(1) amortized hash work per slot (see internal/hashing's fast
+	// family). The two families place users' virtual slots at unrelated
+	// positions, so the family is part of the sketch's identity: it is
+	// serialized in sketch and checkpoint headers, and merge/compare/load
+	// across families is refused (ErrFamilyMismatch) rather than silently
+	// desynchronizing XOR state.
+	Family hashing.Kind
 }
 
 // PaperConfig builds the §V memory-equalised configuration: baselines give
@@ -68,6 +78,14 @@ func (c Config) validate() error {
 		return fmt.Errorf("core: virtual sketch (%d bits) larger than the shared array (%d bits)",
 			c.SketchBits, c.MemoryBits)
 	}
+	// The serialized header stores the family tag in the high byte of the
+	// SketchBits word (see marshal.go), so k must leave that byte clear.
+	if uint64(c.SketchBits) >= 1<<48 {
+		return fmt.Errorf("core: virtual sketch (%d bits) exceeds the supported maximum (2^48)", c.SketchBits)
+	}
+	if !c.Family.Valid() {
+		return fmt.Errorf("core: unknown hash family %v", c.Family)
+	}
 	return nil
 }
 
@@ -77,10 +95,14 @@ func (c Config) validate() error {
 // run concurrently with each other on a quiescent sketch — the engine's
 // merged snapshots and the parallel top-K path rely on this.
 type VOS struct {
-	cfg   Config
-	arr   *bitset.Bitset
-	slots *hashing.Family // f_1 … f_k, one member per virtual slot
-	card  map[stream.User]int64
+	cfg Config
+	arr *bitset.Bitset
+	// Exactly one of slots/fslots is non-nil, per cfg.Family. They stay
+	// concrete (a branch on the hot path, not an interface) so the per-edge
+	// position computation keeps inlining into Process.
+	slots  *hashing.Family     // KindClassic: f_1 … f_k, one member per virtual slot
+	fslots *hashing.FastFamily // KindFast: one strong hash + splitmix64 expansion
+	card   map[stream.User]int64
 
 	// pos optionally caches per-user position tables (see Positions).
 	// nil means positions are recomputed per call. The cache is
@@ -114,13 +136,18 @@ func New(cfg Config) (*VOS, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &VOS{
-		cfg:   cfg,
-		arr:   bitset.New(cfg.MemoryBits),
-		slots: hashing.NewFamily(cfg.SketchBits, cfg.Seed),
-		card:  make(map[stream.User]int64),
-		rec:   poscache.New(defaultRecoveredCacheEntries),
-	}, nil
+	v := &VOS{
+		cfg:  cfg,
+		arr:  bitset.New(cfg.MemoryBits),
+		card: make(map[stream.User]int64),
+		rec:  poscache.New(defaultRecoveredCacheEntries),
+	}
+	if cfg.Family == hashing.KindFast {
+		v.fslots = hashing.NewFastFamily(cfg.SketchBits, cfg.Seed)
+	} else {
+		v.slots = hashing.NewFamily(cfg.SketchBits, cfg.Seed)
+	}
+	return v, nil
 }
 
 // MustNew is New for static configurations; it panics on error.
@@ -189,7 +216,22 @@ func (v *VOS) slot(i stream.Item) int {
 
 // position returns f_j(u) ∈ [0, m).
 func (v *VOS) position(u stream.User, j int) uint64 {
+	if v.fslots != nil {
+		return v.fslots.HashRange(j, uint64(u), v.cfg.MemoryBits)
+	}
 	return v.slots.HashRange(j, uint64(u), v.cfg.MemoryBits)
+}
+
+// fillPositions writes f_0(u) … f_{len(dst)-1}(u) into dst with the active
+// family's batched fill — the one hashing entry point of every
+// position-table materialisation (poscache fills, sketch recovery, the
+// cache-less query path).
+func (v *VOS) fillPositions(dst []uint64, u stream.User) {
+	if v.fslots != nil {
+		v.fslots.HashRangeInto(dst, uint64(u), v.cfg.MemoryBits)
+		return
+	}
+	v.slots.HashRangeInto(dst, uint64(u), v.cfg.MemoryBits)
 }
 
 // Process folds one stream element into the sketch in O(1): one hash for
@@ -199,6 +241,30 @@ func (v *VOS) Process(e stream.Edge) {
 	j := v.slot(e.Item)
 	v.arr.Flip(v.position(e.User, j))
 	v.bump(e.User, opDelta(e.Op))
+}
+
+// ProcessBatch folds a slice of stream elements into the sketch — the same
+// state transition as calling Process per element, with the per-edge
+// overheads (write-version bump, method dispatch) hoisted out of the loop.
+// The engine's shard workers apply their queued batches through this.
+func (v *VOS) ProcessBatch(edges []stream.Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	v.version++ // one write event: invalidates every cached recovered sketch
+	if v.fslots != nil {
+		for _, e := range edges {
+			j := v.slot(e.Item)
+			v.arr.Flip(v.fslots.HashRange(j, uint64(e.User), v.cfg.MemoryBits))
+			v.bump(e.User, opDelta(e.Op))
+		}
+		return
+	}
+	for _, e := range edges {
+		j := v.slot(e.Item)
+		v.arr.Flip(v.slots.HashRange(j, uint64(e.User), v.cfg.MemoryBits))
+		v.bump(e.User, opDelta(e.Op))
+	}
 }
 
 // opDelta maps an action onto its cardinality delta.
@@ -397,6 +463,10 @@ func (v *VOS) EstimateSymmetricDifference(u, w stream.User) float64 {
 // (parities add mod 2) and the cardinality counters add. After Merge, v
 // equals the sketch of the concatenated streams.
 func (v *VOS) Merge(other *VOS) error {
+	if v.cfg.Family != other.cfg.Family {
+		return fmt.Errorf("%w: cannot merge %v-family sketch into %v-family sketch",
+			ErrFamilyMismatch, other.cfg.Family, v.cfg.Family)
+	}
 	if v.cfg != other.cfg {
 		return fmt.Errorf("core: cannot merge sketches with different configs (%+v vs %+v)",
 			v.cfg, other.cfg)
@@ -420,6 +490,10 @@ func (v *VOS) Merge(other *VOS) error {
 // the merged view deletes every edge it absorbed at once, with no per-edge
 // bookkeeping (see Window).
 func (v *VOS) Unmerge(other *VOS) error {
+	if v.cfg.Family != other.cfg.Family {
+		return fmt.Errorf("%w: cannot unmerge %v-family sketch from %v-family sketch",
+			ErrFamilyMismatch, other.cfg.Family, v.cfg.Family)
+	}
 	if v.cfg != other.cfg {
 		return fmt.Errorf("core: cannot unmerge sketches with different configs (%+v vs %+v)",
 			v.cfg, other.cfg)
@@ -484,6 +558,9 @@ type Stats struct {
 	Users       int
 	MemoryBytes uint64
 
+	// Family is the active position-generation backend (Config.Family).
+	Family hashing.Kind
+
 	// WindowSeconds and WindowBuckets describe the sliding window when the
 	// state comes from a windowed sketch or engine: the window span
 	// B·bucketDuration in seconds and the bucket count B. Both are zero on
@@ -501,5 +578,6 @@ func (v *VOS) Stats() Stats {
 		Beta:        v.Beta(),
 		Users:       v.Users(),
 		MemoryBytes: (v.cfg.MemoryBits+7)/8 + uint64(len(v.card))*16,
+		Family:      v.cfg.Family,
 	}
 }

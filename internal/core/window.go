@@ -154,6 +154,28 @@ func (w *Window) Process(e stream.Edge) {
 	b.bump(e.User, d)
 }
 
+// ProcessBatch folds a slice of stream elements into the current bucket
+// and the merged view — the same state transition as calling Process per
+// element, with the write-version bumps hoisted to one per batch and each
+// edge's hashes still computed once for both arrays.
+func (w *Window) ProcessBatch(edges []stream.Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	m, b := w.merged, w.buckets[w.cur]
+	m.version++ // one write event: invalidates cached recovered sketches
+	b.version++
+	for _, e := range edges {
+		j := m.slot(e.Item)
+		p := m.position(e.User, j)
+		d := opDelta(e.Op)
+		m.arr.Flip(p)
+		m.bump(e.User, d)
+		b.arr.Flip(p)
+		b.bump(e.User, d)
+	}
+}
+
 // Rotate retires the oldest bucket and opens a fresh current one: the
 // retired bucket is XOR-ed back out of the merged view (Unmerge — exactly
 // one O(m/64) array pass plus its counter entries, independent of how many

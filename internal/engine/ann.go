@@ -102,6 +102,10 @@ type ANNStats struct {
 	Removals  uint64
 	Probes    uint64
 	Rotations uint64
+	// ProbeReuses counts probes answered from the last probe's recovered
+	// sketch and candidate set (same user, same snapshot, no index change
+	// in between) — the repeated-probe fast path.
+	ProbeReuses uint64
 }
 
 // annIndex is the engine's ANN state: the band index plus the lazy
@@ -120,6 +124,26 @@ type annIndex struct {
 	removals  uint64
 	probes    uint64
 	rotations uint64
+
+	// Probe reuse: a top-K poll loop ("who is similar to u right now?")
+	// probes the same user against the same quiescent state over and over,
+	// and re-recovering the probe's packed sketch plus re-walking its band
+	// buckets per call is pure waste. The last probe's recovered sketch and
+	// candidate set are kept and served again while all three freshness
+	// coordinates hold: same user, same merged snapshot (pointer identity —
+	// snapshots are immutable once merged, and holding lastSnap keeps its
+	// address from being recycled), and same index-mutation stamp (the
+	// monotone sum rebands+removals+rotations: any Put, Remove, or
+	// rotation invalidation advances it, so a probe never reuses across an
+	// index change). lastCands is read-only once cached — the liveness
+	// filter copies instead of compacting in place.
+	lastUser  stream.User
+	lastSnap  *core.VOS
+	lastStamp uint64
+	lastRec   *core.Recovered
+	lastCands []stream.User
+	haveLast  bool
+	reuses    uint64
 }
 
 // newANNIndex validates and builds the engine's ANN state.
@@ -153,6 +177,7 @@ func (e *Engine) ANNStats() (st ANNStats, ok bool) {
 		Removals:     a.removals,
 		Probes:       a.probes,
 		Rotations:    a.rotations,
+		ProbeReuses:  a.reuses,
 	}
 	// The per-shard dirty sets not yet stolen by a probe are backlog too.
 	for _, s := range e.shards {
@@ -211,18 +236,36 @@ func (e *Engine) topKApprox(ctx context.Context, u stream.User, n int) ([]core.T
 		a.mu.Unlock()
 		return nil, err
 	}
-	r := snap.RecoverSketch(u)
-	cands, err := a.ix.Candidates(u, r.Words())
+	stamp := a.rebands + a.removals + a.rotations
+	var r *core.Recovered
+	var cands []stream.User
+	if a.haveLast && a.lastUser == u && a.lastSnap == snap && a.lastStamp == stamp {
+		// Repeated probe of the same user against unchanged state: serve
+		// the packed recovered sketch and candidate set from the last call.
+		r, cands = a.lastRec, a.lastCands
+		a.reuses++
+	} else {
+		r = snap.RecoverSketch(u)
+		var err error
+		cands, err = a.ix.Candidates(u, r.Words())
+		if err != nil {
+			a.probes++
+			a.mu.Unlock()
+			return nil, err
+		}
+		a.lastUser, a.lastSnap, a.lastStamp = u, snap, stamp
+		a.lastRec, a.lastCands = r, cands
+		a.haveLast = true
+	}
 	a.probes++
 	a.mu.Unlock()
-	if err != nil {
-		return nil, err
-	}
 
 	// A band entry may outlive its user (removal is lazy, and the budget
 	// may not have reached it yet): filter zero-cardinality users so a
-	// deleted user never surfaces, whatever the index's staleness.
-	live := cands[:0]
+	// deleted user never surfaces, whatever the index's staleness. The
+	// filter copies rather than compacting cands in place — cands may be
+	// the cached slice a later probe will read again.
+	live := make([]stream.User, 0, len(cands))
 	for _, w := range cands {
 		if snap.Cardinality(w) != 0 {
 			live = append(live, w)

@@ -99,6 +99,10 @@ func Open(cfg Config) (*Engine, error) {
 			if err != nil {
 				return nil, fmt.Errorf("engine: load windowed checkpoint: %w", err)
 			}
+			if winBase.Config().Family != cfg.Sketch.Family {
+				return nil, fmt.Errorf("%w: checkpoint was written with the %v hash family, engine is configured for %v",
+					core.ErrFamilyMismatch, winBase.Config().Family, cfg.Sketch.Family)
+			}
 			if winBase.Config() != cfg.Sketch {
 				return nil, fmt.Errorf("engine: checkpoint sketch config %+v does not match engine config %+v",
 					winBase.Config(), cfg.Sketch)
@@ -113,6 +117,10 @@ func Open(cfg Config) (*Engine, error) {
 			base, err = core.UnmarshalVOS(skBytes)
 			if err != nil {
 				return nil, fmt.Errorf("engine: load checkpoint: %w", err)
+			}
+			if base.Config().Family != cfg.Sketch.Family {
+				return nil, fmt.Errorf("%w: checkpoint was written with the %v hash family, engine is configured for %v",
+					core.ErrFamilyMismatch, base.Config().Family, cfg.Sketch.Family)
 			}
 			if base.Config() != cfg.Sketch {
 				return nil, fmt.Errorf("engine: checkpoint sketch config %+v does not match engine config %+v",

@@ -375,13 +375,9 @@ func (e *Engine) worker(s *shard) {
 	for batch := range s.ch {
 		s.skMu.Lock()
 		if s.win != nil {
-			for _, ed := range batch {
-				s.win.Process(ed) // current bucket + live merged view
-			}
+			s.win.ProcessBatch(batch) // current bucket + live merged view
 		} else {
-			for _, ed := range batch {
-				s.sk.Process(ed)
-			}
+			s.sk.ProcessBatch(batch)
 		}
 		if s.annDirty != nil {
 			// Record the written users before the processed counter (and

@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/vossketch/vos/internal/core"
+	"github.com/vossketch/vos/internal/hashing"
+	"github.com/vossketch/vos/internal/stream"
+	"github.com/vossketch/vos/internal/wal"
+)
+
+// fastTestConfig is testConfig under the fast hash family.
+func fastTestConfig() core.Config {
+	cfg := testConfig()
+	cfg.Family = hashing.KindFast
+	return cfg
+}
+
+// TestEngineFastFamilyParity: a sharded engine under the fast family must
+// stay bit-identical to a single fast-family sketch over the same stream —
+// the same exact-merge guarantee the classic family has.
+func TestEngineFastFamilyParity(t *testing.T) {
+	cfg := fastTestConfig()
+	edges := feasibleStream(10_000, 120, 0.25, 13)
+	single := core.MustNew(cfg)
+	for _, ed := range edges {
+		single.Process(ed)
+	}
+	e := MustNew(Config{Sketch: cfg, Shards: 3})
+	defer e.Close()
+	if err := e.ProcessBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	assertParity(t, e, single, 40)
+	if got := e.Stats().Family; got != hashing.KindFast {
+		t.Errorf("engine Stats().Family = %v, want fast", got)
+	}
+	got, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := single.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("fast-family engine serializes differently from the single sketch")
+	}
+}
+
+// TestOpenRejectsFamilyMismatch: a checkpoint written under one hash
+// family must refuse to load into an engine configured for the other, with
+// the typed core.ErrFamilyMismatch — silently reinterpreting positions
+// would XOR desynchronized state.
+func TestOpenRejectsFamilyMismatch(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir, 2)
+	cfg.Sketch.Family = hashing.KindFast
+	e := MustOpen(cfg)
+	if err := e.ProcessBatch(feasibleStream(500, 20, 0.2, 47)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil { // Close checkpoints when durable
+		t.Fatal(err)
+	}
+	bad := durableConfig(dir, 2) // classic family
+	_, err := Open(bad)
+	if err == nil {
+		t.Fatal("Open loaded a fast-family checkpoint into a classic engine")
+	}
+	if !errors.Is(err, core.ErrFamilyMismatch) {
+		t.Fatalf("Open error = %v, want core.ErrFamilyMismatch in the chain", err)
+	}
+	// The matching family still opens.
+	e2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenRejectsFamilyMismatchWindowed is the windowed-checkpoint variant
+// of TestOpenRejectsFamilyMismatch.
+func TestOpenRejectsFamilyMismatchWindowed(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	cfg := windowConfig(2, 4, clk)
+	cfg.Sketch.Family = hashing.KindFast
+	cfg.Durability = &DurabilityConfig{Dir: dir, Sync: wal.SyncEveryBatch, DisableLock: true}
+	e := MustOpen(cfg)
+	if err := e.ProcessBatch(feasibleStream(300, 20, 0.2, 49)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bad := windowConfig(2, 4, clk)
+	bad.Durability = &DurabilityConfig{Dir: dir, Sync: wal.SyncEveryBatch, DisableLock: true}
+	_, err := Open(bad)
+	if err == nil {
+		t.Fatal("Open loaded a fast-family windowed checkpoint into a classic engine")
+	}
+	if !errors.Is(err, core.ErrFamilyMismatch) {
+		t.Fatalf("Open error = %v, want core.ErrFamilyMismatch in the chain", err)
+	}
+}
+
+// TestTopKApproxProbeReuse pins the repeated-probe fast path: probing the
+// same user again on an unchanged snapshot reuses the recovered sketch and
+// candidate set (ANNStats.ProbeReuses counts it) and returns identical
+// results, while any intervening write — or a different probe user —
+// invalidates the memo.
+func TestTopKApproxProbeReuse(t *testing.T) {
+	const mates = 8
+	edges, _ := plantedClusterEdges(mates, 200, 180, 100, 4)
+	e, err := New(annConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.ProcessBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+
+	reuses := func() uint64 {
+		st, ok := e.ANNStats()
+		if !ok {
+			t.Fatal("ANNStats not ok")
+		}
+		return st.ProbeReuses
+	}
+
+	first, err := e.TopKApprox(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reuses(); n != 0 {
+		t.Fatalf("ProbeReuses = %d after first probe, want 0", n)
+	}
+	second, err := e.TopKApprox(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reuses(); n != 1 {
+		t.Fatalf("ProbeReuses = %d after repeated probe, want 1", n)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("repeated probe: %d results vs %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("repeated probe rank %d differs: %+v vs %+v", i, second[i], first[i])
+		}
+	}
+
+	// A different probe user must not reuse user 0's memo.
+	if _, err := e.TopKApprox(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if n := reuses(); n != 1 {
+		t.Fatalf("ProbeReuses = %d after probing a different user, want 1", n)
+	}
+
+	// A write invalidates the snapshot; results must be fresh — the memo
+	// must not resurrect pre-write candidates or estimates.
+	if err := e.Process(stream.Edge{User: 0, Item: 1 << 40, Op: stream.Insert}); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	third, err := e.TopKApprox(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reuses(); n != 1 {
+		t.Fatalf("ProbeReuses = %d after a write, want 1 (no reuse across writes)", n)
+	}
+	for _, r := range third {
+		if q := e.Query(0, r.User); q != r.Estimate {
+			t.Fatalf("post-write estimate for %d differs from Query: %+v vs %+v", r.User, r.Estimate, q)
+		}
+	}
+}

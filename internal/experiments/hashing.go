@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"github.com/vossketch/vos/internal/bitset"
+	"github.com/vossketch/vos/internal/core"
+	"github.com/vossketch/vos/internal/gen"
+	"github.com/vossketch/vos/internal/hashing"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// HashingPerf measures the write-side hash layer and the compare kernels
+// at the paper-scale sketch configuration (m = 2^24, k = λ·32·K32 = 6400
+// by default):
+//
+//   - fill: generating one user's k-slot position table — the classic
+//     family (k independently seeded hashes) vs the fast family (one
+//     strong hash expanded by a counter-based generator, DKT-style);
+//   - gather / gatherxor / xorwords: the bitset compare kernels — scalar
+//     reference loop vs the blocked multi-accumulator dispatch;
+//   - pair-cold: a cold pair query (no caches), the path the fill and
+//     gather costs dominate;
+//   - ingest: ns/edge folding the dynamized stream — per-edge Process vs
+//     ProcessBatch (positions hashed once per user run) per family.
+//
+// Every row is parity-gated before it is timed: the fast family's bulk
+// fill must match its scalar definition slot for slot, the blocked
+// kernels must agree with the scalar references on live sketch data, both
+// families must recover a planted pair's common-item count from the same
+// stream within tolerance, and the fast family's materialized query path
+// must agree with its per-bit oracle bit for bit. A mismatch is an error,
+// not a table row.
+func HashingPerf(opts Options) (*Table, error) {
+	opts = opts.normalized()
+
+	p, err := gen.ProfileByName(opts.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	p.Users = opts.RuntimeUsers
+	p.Items = opts.RuntimeUsers * 4
+	p.Edges = opts.RuntimeEdges
+	base := gen.Bipartite(p, opts.Seed)
+	edges := gen.Dynamize(base, gen.PaperDynamize(len(base), opts.Seed+1))
+
+	cfgClassic := core.Config{
+		MemoryBits: 1 << 24,
+		SketchBits: opts.Lambda * 32 * opts.K32,
+		Seed:       uint64(opts.Seed),
+	}
+	cfgFast := cfgClassic
+	cfgFast.Family = hashing.KindFast
+	k := cfgClassic.SketchBits
+	m := cfgClassic.MemoryBits
+
+	classicFam := hashing.NewFamily(k, cfgClassic.Seed)
+	fastFam := hashing.NewFastFamily(k, cfgClassic.Seed)
+
+	// Parity gate 1: the fast family's bulk fill is its scalar definition.
+	dst := make([]uint64, k)
+	for _, key := range []uint64{0, 1, 42, 1 << 40, ^uint64(0)} {
+		fastFam.HashRangeInto(dst, key, m)
+		for j := 0; j < k; j++ {
+			if want := fastFam.HashRange(j, key, m); dst[j] != want {
+				return nil, fmt.Errorf("experiments: fast fill mismatch at key %d slot %d: %d != %d", key, j, dst[j], want)
+			}
+		}
+	}
+
+	// Parity gate 2: blocked kernels agree with the scalar references on a
+	// realistically loaded array and realistic (hash-scattered) indices.
+	arr := bitset.New(m)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for i := 0; i < 1<<20; i++ {
+		arr.Set(rng.Uint64() % m)
+	}
+	idx := make([]uint64, k)
+	fastFam.HashRangeInto(idx, 7, m)
+	gRef := arr.GatherRef(idx)
+	gFast := arr.Gather(idx)
+	if !gRef.Equal(gFast) {
+		return nil, fmt.Errorf("experiments: blocked gather disagrees with scalar reference")
+	}
+	if a, b := arr.GatherXorCount(idx, gRef), arr.GatherXorCountRef(idx, gRef); a != b {
+		return nil, fmt.Errorf("experiments: blocked gather-xor-count %d disagrees with scalar reference %d", a, b)
+	}
+	ws := gRef.UnsafeWords()
+	if a, b := gFast.XorCountWords(ws), gFast.XorCountWordsRef(ws); a != b {
+		return nil, fmt.Errorf("experiments: blocked xor-count-words %d disagrees with scalar reference %d", a, b)
+	}
+
+	// Parity gate 3: both families recover a planted pair from the same
+	// dynamized background within tolerance, and the fast materialized path
+	// agrees with its per-bit oracle bit for bit.
+	const plantedCommon, plantedA, plantedB = 120, 300, 260
+	pairU, pairV := stream.User(p.Users+1), stream.User(p.Users+2)
+	planted := gen.PlantedPair(pairU, pairV, plantedA, plantedB, plantedCommon, opts.Seed+2)
+	skClassic := core.MustNew(cfgClassic)
+	skFast := core.MustNew(cfgFast)
+	skClassic.ProcessBatch(edges)
+	skFast.ProcessBatch(edges)
+	skClassic.ProcessBatch(planted)
+	skFast.ProcessBatch(planted)
+	for name, sk := range map[string]*core.VOS{"classic": skClassic, "fast": skFast} {
+		est := sk.Query(pairU, pairV)
+		if diff := est.Common - plantedCommon; diff < -40 || diff > 40 {
+			return nil, fmt.Errorf("experiments: %s family estimates %.1f common items for a planted %d", name, est.Common, plantedCommon)
+		}
+	}
+	for u := stream.User(0); u < 50 && u < stream.User(p.Users); u++ {
+		if skFast.Query(pairU, u) != skFast.QueryPerBit(pairU, u) {
+			return nil, fmt.Errorf("experiments: fast materialized query mismatch for pair (%d,%d)", pairU, u)
+		}
+	}
+
+	tbl := &Table{
+		ID:     "hashing",
+		Title:  "hash layer and compare kernels: position fill, gather/XOR/popcount, cold pair query, ingest",
+		Header: []string{"op", "path", "ns/op", "speedup"},
+	}
+	tbl.AddNote("dataset=%s users=%d edges=%d (after dynamize: %d)", p.Name, p.Users, p.Edges, len(edges))
+	tbl.AddNote("sketch: m=%d bits, k=%d, seed=%d; kernels=%s", m, k, cfgClassic.Seed, kernelsName())
+	tbl.AddNote("fill = one user's k-slot position table; gather rows are memory-level-parallelism")
+	tbl.AddNote("bound (k random probes into a %d MiB array), so kernel speedups are modest by", m/8/(1<<20))
+	tbl.AddNote("design — the fill speedup is the compute win, pair-cold combines both")
+	tbl.AddNote("ingest = ns/edge over the dynamized stream (one slot per edge, so the fast")
+	tbl.AddNote("family's counter expansion cannot amortize there; its win is fill-shaped work)")
+	tbl.AddNote("GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+
+	timeOp := func(budget time.Duration, fn func()) float64 {
+		fn() // warm
+		reps, block := 0, 1
+		t0 := time.Now()
+		elapsed := time.Duration(0)
+		for elapsed < budget || reps == 0 {
+			for i := 0; i < block; i++ {
+				fn()
+			}
+			reps += block
+			elapsed = time.Since(t0)
+			if block < 1024 && elapsed < budget/2 {
+				block *= 2
+			}
+		}
+		return float64(elapsed.Nanoseconds()) / float64(reps)
+	}
+	const budget = 200 * time.Millisecond
+
+	addRows := func(op string, paths []string, ns []float64) {
+		for i, path := range paths {
+			tbl.AddRow(op, path, fmt.Sprintf("%.0f", ns[i]), fmt.Sprintf("%.1fx", ns[0]/ns[i]))
+		}
+	}
+
+	// Fill: one position-table generation per call, rotating the key so
+	// the timed work is the hash pipeline, not a cached special case.
+	key := uint64(1)
+	nsClassicFill := timeOp(budget, func() {
+		classicFam.HashRangeInto(dst, key, m)
+		key++
+		posSink += dst[0]
+	})
+	key = 1
+	nsFastFill := timeOp(budget, func() {
+		fastFam.HashRangeInto(dst, key, m)
+		key++
+		posSink += dst[0]
+	})
+	addRows("fill", []string{"classic", "fast"}, []float64{nsClassicFill, nsFastFill})
+
+	// Kernels: scalar reference vs the blocked dispatch, same k-index
+	// gather shape a materialized query performs.
+	nsGatherRef := timeOp(budget, func() { bitsSink = arr.GatherRef(idx) })
+	nsGather := timeOp(budget, func() { bitsSink = arr.Gather(idx) })
+	addRows("gather", []string{"scalar", "blocked"}, []float64{nsGatherRef, nsGather})
+
+	nsGXRef := timeOp(budget, func() { cntSink = arr.GatherXorCountRef(idx, gRef) })
+	nsGX := timeOp(budget, func() { cntSink = arr.GatherXorCount(idx, gRef) })
+	addRows("gatherxor", []string{"scalar", "blocked"}, []float64{nsGXRef, nsGX})
+
+	// Word-vs-word XOR-popcount (the warm compare path) has a single
+	// kernel: its sequential scalar loop is already throughput-bound, so
+	// blocked variants were measured slower and are not dispatched. Timed
+	// here so the warm path's cost stays on the record.
+	nsXW := timeOp(budget, func() { cntSink = gFast.XorCountWords(ws) })
+	addRows("xorwords", []string{"scalar"}, []float64{nsXW})
+
+	// Cold pair query: no caches, so every query pays two fills plus the
+	// gather-XOR compare — the fill and kernel wins compound here.
+	skClassic.SetPositionCache(nil)
+	skClassic.SetRecoveredCacheCapacity(-1)
+	skFast.SetPositionCache(nil)
+	skFast.SetRecoveredCacheCapacity(-1)
+	nsColdClassic := timeOp(budget, func() { estSink = skClassic.Query(pairU, pairV) })
+	nsColdFast := timeOp(budget, func() { estSink = skFast.Query(pairU, pairV) })
+	addRows("pair-cold", []string{"classic", "fast"}, []float64{nsColdClassic, nsColdFast})
+
+	// Ingest: ns/edge. Re-processing the same stream only toggles parity
+	// bits, which is harmless for timing. Fresh sketches keep the timed
+	// state comparable across paths.
+	ingestBudget := 400 * time.Millisecond
+	perEdge := core.MustNew(cfgClassic)
+	nsPerEdge := timeOp(ingestBudget, func() {
+		for _, e := range edges {
+			perEdge.Process(e)
+		}
+	}) / float64(len(edges))
+	batchClassic := core.MustNew(cfgClassic)
+	nsBatch := timeOp(ingestBudget, func() { batchClassic.ProcessBatch(edges) }) / float64(len(edges))
+	batchFast := core.MustNew(cfgFast)
+	nsBatchFast := timeOp(ingestBudget, func() { batchFast.ProcessBatch(edges) }) / float64(len(edges))
+	addRows("ingest", []string{"per-edge", "batch", "batch-fast"}, []float64{nsPerEdge, nsBatch, nsBatchFast})
+
+	return tbl, nil
+}
+
+// kernelsName describes the active compare-kernel build for provenance.
+func kernelsName() string {
+	if bitset.FastKernels() {
+		return "blocked (" + runtime.GOARCH + ")"
+	}
+	return "portable"
+}
+
+// posSink, bitsSink and cntSink keep timed results live.
+var (
+	posSink  uint64
+	bitsSink *bitset.Bitset
+	cntSink  uint64
+)

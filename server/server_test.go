@@ -146,6 +146,56 @@ func TestWireParity(t *testing.T) {
 	}
 }
 
+// TestStatsHashFamilyOnWire: /v1/stats reports the sketch's hash family
+// and the client decodes it back to the typed value, for both families —
+// so operators can confirm what a remote daemon was configured with before
+// pointing checkpointed state at it.
+func TestStatsHashFamilyOnWire(t *testing.T) {
+	ctx := context.Background()
+	for _, fam := range []vos.HashFamily{vos.FamilyClassic, vos.FamilyFast} {
+		cfg := testEngineConfig()
+		cfg.Sketch.Family = fam
+		eng, err := vos.NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(server.New(vos.NewEngineService(eng), server.Options{}))
+		cl := client.New(ts.URL, client.Options{})
+
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wire server.StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if wire.HashFamily != fam.String() {
+			t.Errorf("hash_family on the wire = %q, want %q", wire.HashFamily, fam.String())
+		}
+		st, err := cl.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Family != fam {
+			t.Errorf("client Stats().Family = %v, want %v", st.Family, fam)
+		}
+		cl.Close()
+		ts.Close()
+		eng.Close()
+	}
+	// An absent hash_family (a server predating the field) decodes to the
+	// classic family rather than an error.
+	var old server.StatsResponse
+	if err := json.Unmarshal([]byte(`{"memory_bits":1024,"sketch_bits":64}`), &old); err != nil {
+		t.Fatal(err)
+	}
+	if got := old.Stats().Family; got != vos.FamilyClassic {
+		t.Errorf("absent hash_family decodes to %v, want classic", got)
+	}
+}
+
 // TestIngestFormats: the JSON single-object, JSON array, and NDJSON bodies
 // all land edges, and all agree with the binary path the client uses.
 func TestIngestFormats(t *testing.T) {

@@ -148,11 +148,16 @@ type StatsResponse struct {
 	MemoryBytes   uint64  `json:"memory_bytes"`
 	WindowSeconds float64 `json:"window_seconds,omitempty"`
 	WindowBuckets int     `json:"window_buckets,omitempty"`
+	// HashFamily is the sketch's position-generation backend ("classic" or
+	// "fast"); see vos.HashFamily.
+	HashFamily string `json:"hash_family"`
 }
 
-// Stats converts back to the engine type.
+// Stats converts back to the engine type. An unrecognised (or absent)
+// hash_family maps to the classic family — the only possibility for
+// servers predating the field.
 func (s StatsResponse) Stats() vos.Stats {
-	return vos.Stats{
+	st := vos.Stats{
 		MemoryBits:    s.MemoryBits,
 		SketchBits:    s.SketchBits,
 		OnesCount:     s.OnesCount,
@@ -162,6 +167,10 @@ func (s StatsResponse) Stats() vos.Stats {
 		WindowSeconds: s.WindowSeconds,
 		WindowBuckets: s.WindowBuckets,
 	}
+	if f, err := vos.ParseHashFamily(s.HashFamily); err == nil {
+		st.Family = f
+	}
+	return st
 }
 
 // StatsToWire converts engine stats to their wire form.
@@ -175,6 +184,7 @@ func StatsToWire(s vos.Stats) StatsResponse {
 		MemoryBytes:   s.MemoryBytes,
 		WindowSeconds: s.WindowSeconds,
 		WindowBuckets: s.WindowBuckets,
+		HashFamily:    s.Family.String(),
 	}
 }
 

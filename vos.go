@@ -97,8 +97,36 @@ type Edge = stream.Edge
 type Sketch = core.VOS
 
 // Config parameterises a Sketch: total shared memory m in bits, virtual
-// per-user sketch size k in bits, and a seed.
+// per-user sketch size k in bits, a seed, and the hash family generating
+// the per-user position tables (see HashFamily).
 type Config = core.Config
+
+// HashFamily selects the position-generation backend of a sketch — how the
+// k user hashes f_1 … f_k are evaluated. It is part of a sketch's identity:
+// it is recorded in serialized sketches and checkpoints, and state built
+// under different families is never merged, compared, or loaded across
+// (see ErrFamilyMismatch).
+type HashFamily = hashing.Kind
+
+const (
+	// FamilyClassic (the zero value) evaluates k independently seeded
+	// hashes per position table — the original backend.
+	FamilyClassic = hashing.KindClassic
+	// FamilyFast fills a position table from one strong hash of the user
+	// key expanded by a counter-based generator — O(1) amortized hash work
+	// per slot, in the spirit of Dahlgaard–Knudsen–Thorup fast similarity
+	// sketching. Estimates keep the same accuracy (the experiment suite
+	// parity-gates them); only the positions differ from FamilyClassic.
+	FamilyFast = hashing.KindFast
+)
+
+// ParseHashFamily maps the wire/flag names "classic" and "fast" onto a
+// HashFamily, the inverse of HashFamily.String.
+func ParseHashFamily(s string) (HashFamily, error) { return hashing.ParseKind(s) }
+
+// ErrFamilyMismatch reports an attempt to merge, compare, or load sketch
+// state across different hash families. Use errors.Is to detect it.
+var ErrFamilyMismatch = core.ErrFamilyMismatch
 
 // Estimate bundles the outputs of a similarity query: the common-item
 // estimate (raw and clamped), the Jaccard estimate, the symmetric
