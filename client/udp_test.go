@@ -1,0 +1,192 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/vossketch/vos"
+	"github.com/vossketch/vos/internal/netproto"
+	"github.com/vossketch/vos/internal/stream"
+)
+
+// startReceiver runs a netproto.Receiver on loopback, collecting every
+// applied edge, and returns its address.
+func startReceiver(t *testing.T) (addr string, edges func() []stream.Edge) {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []stream.Edge
+	recv := netproto.NewReceiver(pc, netproto.Config{
+		Sink: func(batch []stream.Edge) error {
+			mu.Lock()
+			got = append(got, batch...)
+			mu.Unlock()
+			return nil
+		},
+	})
+	done := make(chan error, 1)
+	go func() { done <- recv.Run() }()
+	t.Cleanup(func() {
+		if err := recv.Close(); err != nil {
+			t.Errorf("receiver close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("receiver run: %v", err)
+		}
+	})
+	return recv.Addr().String(), func() []stream.Edge {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]stream.Edge(nil), got...)
+	}
+}
+
+// TestUDPClientEndToEnd: edges buffered through Ingest and confirmed by
+// Flush arrive at the receiver exactly once, in order, and the final ack
+// reports a clean ledger.
+func TestUDPClientEndToEnd(t *testing.T) {
+	addr, edges := startReceiver(t)
+	c, err := NewUDP(addr, UDPOptions{BatchSize: 8, AckEvery: 2, AckWindow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	const n = 50
+	sent := make([]vos.Edge, n)
+	for i := range sent {
+		sent[i] = vos.Edge{User: vos.User(i % 5), Item: vos.Item(i), Op: vos.Insert}
+	}
+	// Two Ingest calls exercise the partial-batch carry between them.
+	if err := c.Ingest(ctx, sent[:13]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ingest(ctx, sent[13:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	st := c.Stats()
+	if !st.Acked {
+		t.Fatal("Flush returned without an ack")
+	}
+	if st.LastAck.Gaps != 0 || st.LastAck.Replays != 0 {
+		t.Fatalf("clean loopback delivery reported gaps=%d replays=%d", st.LastAck.Gaps, st.LastAck.Replays)
+	}
+	if st.EdgesSent != n {
+		t.Fatalf("EdgesSent = %d, want %d", st.EdgesSent, n)
+	}
+	if st.AcksReceived == 0 || len(c.TakeRTTs()) == 0 {
+		t.Fatalf("expected ack RTT samples, stats %+v", st)
+	}
+
+	got := edges()
+	if len(got) != n {
+		t.Fatalf("receiver applied %d edges, want %d", len(got), n)
+	}
+	for i, e := range got {
+		if e != sent[i] {
+			t.Fatalf("edge %d: got %+v, want %+v", i, e, sent[i])
+		}
+	}
+
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ingest(ctx, sent[:1]); !errors.Is(err, vos.ErrClosed) {
+		t.Fatalf("Ingest after Close = %v, want ErrClosed", err)
+	}
+	if err := c.Flush(ctx); !errors.Is(err, vos.ErrClosed) {
+		t.Fatalf("Flush after Close = %v, want ErrClosed", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+}
+
+// TestUDPClientAckWindowOverflow: against a receiver that never answers,
+// the outstanding-ack window fills, each further send abandons the oldest
+// request after AckTimeout (counted, not deadlocked), and the closing
+// Flush reports that delivery was never confirmed.
+func TestUDPClientAckWindowOverflow(t *testing.T) {
+	// A bound socket nobody reads: sends succeed, acks never come.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+
+	c, err := NewUDP(pc.LocalAddr().String(), UDPOptions{
+		BatchSize:  1,
+		AckEvery:   1,
+		AckWindow:  1,
+		AckTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := c.Ingest(ctx, []vos.Edge{{User: 1, Item: vos.Item(i), Op: vos.Insert}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.FramesSent != 3 {
+		t.Fatalf("FramesSent = %d, want 3 (abandonment must not block sends)", st.FramesSent)
+	}
+	// Frames 1 and 2 each found the 1-slot window full and abandoned the
+	// previous request.
+	if st.AcksAbandoned != 2 {
+		t.Fatalf("AcksAbandoned = %d, want 2", st.AcksAbandoned)
+	}
+	err = c.Close()
+	if err == nil || !strings.Contains(err.Error(), "no ack") {
+		t.Fatalf("Close against a silent receiver = %v, want unconfirmed-delivery error", err)
+	}
+}
+
+// TestUDPClientAcksDisabled: AckEvery < 0 turns the client into pure
+// fire-and-forget — no ack goroutine, Flush returns without waiting, and
+// edges still arrive.
+func TestUDPClientAcksDisabled(t *testing.T) {
+	addr, edges := startReceiver(t)
+	c, err := NewUDP(addr, UDPOptions{BatchSize: 4, AckEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sent := make([]vos.Edge, 10)
+	for i := range sent {
+		sent[i] = vos.Edge{User: 7, Item: vos.Item(i), Op: vos.Insert}
+	}
+	if err := c.Ingest(ctx, sent); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.AcksRequested != 0 || st.Acked {
+		t.Fatalf("acks disabled but stats show %+v", st)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(edges()) < len(sent) {
+		if time.Now().After(deadline) {
+			t.Fatalf("receiver applied %d of %d edges", len(edges()), len(sent))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

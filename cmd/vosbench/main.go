@@ -13,7 +13,7 @@
 //
 // Experiments: fig2a, fig2b, fig3a, fig3b, fig3c, fig3d, abl-lambda,
 // abl-load, abl-dense, abl-delbias, compare, throughput, query, hashing,
-// window, topk-ann, all.
+// window, topk-ann, udpsoak, all.
 //
 // The throughput experiment measures the sharded ingestion engine: for
 // each shard count it ingests the runtime workload through vos.Engine,
@@ -41,6 +41,15 @@
 // in-window ground truth, parity-gated on the live window sketch being
 // bit-identical to a fresh sketch built from only the in-window edges.
 //
+// The udpsoak experiment soaks both ingest planes over real loopback
+// sockets at the same batch size — the HTTP binary path (one POST
+// round-trip per batch) and the VOSSTRM1 datagram path (fire-and-forget
+// frames with windowed acks) — reporting edges/s, ns/edge, and ack RTT
+// percentiles, then replays the datagram run under a deterministic
+// drop/duplicate/reorder fault plan and refuses to emit rows unless every
+// injected fault surfaces in the receiver's counters exactly and each
+// transport's sketch is bit-identical to an in-process oracle.
+//
 // The topk-ann experiment measures the approximate top-K path
 // (Engine.TopKApprox over the banded-LSH index) against the exact scan on
 // a planted heavy-cluster workload, and refuses to emit a timing row when
@@ -64,7 +73,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (fig2a fig2b fig3a fig3b fig3c fig3d abl-lambda abl-load abl-dense abl-delbias compare throughput query hashing window topk-ann all)")
+		experiment = flag.String("experiment", "all", "experiment id (fig2a fig2b fig3a fig3b fig3c fig3d abl-lambda abl-load abl-dense abl-delbias compare throughput query hashing window topk-ann udpsoak all)")
 		scale      = flag.Float64("scale", 0.01, "dataset profile scale factor (paper scale = 1.0)")
 		seed       = flag.Int64("seed", 2, "workload seed")
 		k32        = flag.Int("k", 100, "registers per user for the baselines (paper: 100)")
@@ -76,6 +85,8 @@ func main() {
 		dataset    = flag.String("dataset", "YouTube", "profile for single-dataset experiments (YouTube, Flickr, Orkut, LiveJournal)")
 		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -experiment throughput")
 		buckets    = flag.Int("buckets", 8, "sliding-window bucket count for -experiment window")
+		soakEdges  = flag.Int("soak-edges", 200_000, "workload size per transport for -experiment udpsoak")
+		soakBatch  = flag.Int("soak-batch", 256, "edges per batch/frame for -experiment udpsoak")
 
 		annUsers     = flag.Int("ann-users", 100000, "total population for -experiment topk-ann")
 		annBands     = flag.Int("ann-bands", 0, "LSH bands for -experiment topk-ann (0 = experiment default 128)")
@@ -117,7 +128,9 @@ func main() {
 		MinRecall: *annMinRecall,
 	}
 
-	tables, err := runWithShards(*experiment, opts, shardCounts, *buckets, annOpts)
+	soakOpts := experiments.UDPSoakOptions{Edges: *soakEdges, BatchSize: *soakBatch}
+
+	tables, err := runWithShards(*experiment, opts, shardCounts, *buckets, annOpts, soakOpts)
 	if err != nil {
 		fatal(err)
 	}
@@ -160,7 +173,7 @@ func writeCSV(dir string, t *experiments.Table) error {
 // runWithShards dispatches experiments that take extra topology knobs
 // (the shard-count sweep, the window bucket count, the ANN shape) and
 // delegates everything else to run.
-func runWithShards(id string, opts experiments.Options, shardCounts []int, buckets int, annOpts experiments.TopKANNOptions) ([]*experiments.Table, error) {
+func runWithShards(id string, opts experiments.Options, shardCounts []int, buckets int, annOpts experiments.TopKANNOptions, soakOpts experiments.UDPSoakOptions) ([]*experiments.Table, error) {
 	switch id {
 	case "throughput":
 		t, err := experiments.Throughput(opts, shardCounts)
@@ -170,6 +183,9 @@ func runWithShards(id string, opts experiments.Options, shardCounts []int, bucke
 		return one(t, err)
 	case "topk-ann":
 		t, err := experiments.TopKANN(opts, annOpts)
+		return one(t, err)
+	case "udpsoak":
+		t, err := experiments.UDPSoak(opts, soakOpts)
 		return one(t, err)
 	}
 	return run(id, opts)

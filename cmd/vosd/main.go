@@ -11,6 +11,7 @@
 //	vosd -dir /var/lib/vosd -sync off -checkpoint-interval 30s
 //	vosd -listen :8080 -window 1h -buckets 60             # sliding window
 //	vosd -listen :8080 -ann                               # approximate top-K
+//	vosd -listen :8080 -udp-listen :9090                  # + datagram ingest
 //
 // With -window the daemon serves sliding-window similarity: queries cover
 // only the last -window of stream time, advanced by the wall clock and by
@@ -24,6 +25,14 @@
 // probing only colliding index buckets instead of scanning a supplied
 // candidate list. -ann-bands/-ann-rows shape the S-curve (see the README's
 // "Approximate top-K" section); without -ann, mode "ann" answers 501.
+//
+// With -udp-listen the daemon additionally accepts VOSSTRM1 datagram
+// ingest (package client's UDPClient, internal/netproto): a fire-and-forget
+// UDP plane sharing the HTTP handlers' admission budget, with per-session
+// sequence tracking so lost, reordered, or replayed batches are detected
+// and counted — surfaced on /v1/stats and in protocol acks — instead of
+// silently corrupting the XOR sketch. Its address is printed on stdout
+// once bound ("vosd udp ingest on ...").
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: readiness flips to 503,
 // in-flight requests finish (bounded by -drain-timeout), the listener
@@ -47,6 +56,8 @@ import (
 	"time"
 
 	"github.com/vossketch/vos"
+	"github.com/vossketch/vos/internal/admit"
+	"github.com/vossketch/vos/internal/netproto"
 	"github.com/vossketch/vos/server"
 )
 
@@ -60,8 +71,9 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("vosd", flag.ExitOnError)
 	var (
-		listen = fs.String("listen", "127.0.0.1:8080", "TCP listen address (use port 0 for an ephemeral port)")
-		dir    = fs.String("dir", "", "durability directory (WAL + checkpoints); empty runs memory-only")
+		listen    = fs.String("listen", "127.0.0.1:8080", "TCP listen address (use port 0 for an ephemeral port)")
+		udpListen = fs.String("udp-listen", "", "UDP listen address for VOSSTRM1 datagram ingest (empty disables; use port 0 for an ephemeral port)")
+		dir       = fs.String("dir", "", "durability directory (WAL + checkpoints); empty runs memory-only")
 
 		memoryBits = fs.Uint64("memory-bits", 1<<22, "m, shared array size in bits")
 		sketchBits = fs.Int("sketch-bits", 4096, "k, virtual sketch size in bits")
@@ -152,14 +164,38 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	opts := server.Options{MaxBatchBytes: *maxBatchBytes, MaxInFlightBytes: *maxInFlightBytes}
+	// One admission controller for every ingest transport: the HTTP
+	// handlers and the UDP receiver draw on the same in-flight byte
+	// budget, so -max-inflight-bytes bounds the process, not a plane.
+	adm := admit.NewController(*maxBatchBytes, *maxInFlightBytes)
+	svc := vos.NewEngineService(eng)
+	opts := server.Options{Admission: adm}
 	if *verbose {
 		opts.Logger = log.New(os.Stderr, "vosd: ", log.LstdFlags)
 	}
-	srv := server.New(vos.NewEngineService(eng), opts)
+
+	var udpRecv *netproto.Receiver
+	udpRunErr := make(chan error, 1)
+	if *udpListen != "" {
+		pc, err := net.ListenPacket("udp", *udpListen)
+		if err != nil {
+			eng.Close()
+			return fmt.Errorf("vosd: -udp-listen: %w", err)
+		}
+		udpRecv = netproto.NewReceiver(pc, netproto.Config{
+			Sink:  func(edges []vos.Edge) error { return svc.Ingest(context.Background(), edges) },
+			Admit: adm,
+		})
+		go func() { udpRunErr <- udpRecv.Run() }()
+		opts.UDPStats = udpRecv.Stats
+	}
+	srv := server.New(svc, opts)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
+		if udpRecv != nil {
+			udpRecv.Close()
+		}
 		eng.Close()
 		return err
 	}
@@ -181,6 +217,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "vosd listening on http://%s (shards=%d, durable=%v, window=%s, ann=%v)\n",
 		ln.Addr(), eng.Shards(), *dir != "", windowDesc, *ann)
+	if udpRecv != nil {
+		fmt.Fprintf(stdout, "vosd udp ingest on %s (VOSSTRM1 datagrams)\n", udpRecv.Addr())
+	}
 
 	// Periodic checkpoints bound restart replay time; each one truncates
 	// the covered WAL prefix.
@@ -209,6 +248,9 @@ func run(args []string, stdout io.Writer) error {
 	select {
 	case err := <-serveErr:
 		close(stopCkpt)
+		if udpRecv != nil {
+			udpRecv.Close()
+		}
 		eng.Close()
 		return err
 	case s := <-sig:
@@ -216,8 +258,18 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	// Graceful shutdown: out of rotation, finish in-flight work, close the
-	// listener, then close the engine (final checkpoint when durable).
+	// listener, then close the engine (final checkpoint when durable). The
+	// UDP plane closes first — Close waits for the frame being applied, so
+	// no datagram batch races the engine teardown.
 	close(stopCkpt)
+	if udpRecv != nil {
+		if err := udpRecv.Close(); err != nil {
+			log.Printf("vosd: udp close: %v", err)
+		}
+		if err := <-udpRunErr; err != nil {
+			log.Printf("vosd: udp receiver: %v", err)
+		}
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {

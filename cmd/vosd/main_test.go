@@ -3,7 +3,9 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -13,6 +15,7 @@ import (
 
 	"github.com/vossketch/vos"
 	"github.com/vossketch/vos/client"
+	"github.com/vossketch/vos/server"
 )
 
 // buildVosd compiles the daemon once per test binary into a temp dir.
@@ -78,6 +81,130 @@ func startVosd(t *testing.T, bin, dataDir string, extraArgs ...string) (string, 
 	}
 	t.Cleanup(stop)
 	return base, stop
+}
+
+// startVosdUDP is startVosd with -udp-listen: it additionally captures the
+// "vosd udp ingest on ADDR" line and returns the datagram address.
+func startVosdUDP(t *testing.T, bin, dataDir string) (string, string, func()) {
+	t.Helper()
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0", "-udp-listen", "127.0.0.1:0", "-dir", dataDir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	base, udpAddr := "", ""
+	for (base == "" || udpAddr == "") && sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			base = strings.Fields(line[i+len("listening on "):])[0]
+		}
+		if i := strings.Index(line, "udp ingest on "); i >= 0 {
+			udpAddr = strings.Fields(line[i+len("udp ingest on "):])[0]
+		}
+	}
+	if base == "" || udpAddr == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("vosd never reported both addresses (http=%q udp=%q, scan err: %v)", base, udpAddr, sc.Err())
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			cmd.Process.Kill()
+			t.Error("vosd did not exit within 30s of SIGTERM")
+		}
+	}
+	t.Cleanup(stop)
+	return base, udpAddr, stop
+}
+
+// TestVosdUDPSmoke drives the real binary's datagram plane end to end:
+// UDP ingest with acks, delivery confirmed clean, then HTTP queries over
+// the same state and the /v1/stats UDP ledger.
+func TestVosdUDPSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon binary")
+	}
+	bin := buildVosd(t)
+	base, udpAddr, stop := startVosdUDP(t, bin, t.TempDir())
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	uc, err := client.NewUDP(udpAddr, client.UDPOptions{BatchSize: 64, AckEvery: 4, AckWindow: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []vos.Edge
+	for i := 0; i < 250; i++ {
+		edges = append(edges, vos.Edge{User: 1, Item: vos.Item(i), Op: vos.Insert})
+		edges = append(edges, vos.Edge{User: 2, Item: vos.Item(i + 125), Op: vos.Insert})
+	}
+	if err := uc.Ingest(ctx, edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := uc.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ust := uc.Stats()
+	if !ust.Acked || ust.LastAck.Gaps != 0 || ust.LastAck.Replays != 0 {
+		t.Fatalf("udp delivery not confirmed clean: %+v", ust)
+	}
+	if err := uc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same state answers over HTTP: UDP and HTTP are one engine.
+	cl := client.New(base, client.Options{})
+	defer cl.Close()
+	if card, err := cl.Cardinality(ctx, 1); err != nil || card != 250 {
+		t.Fatalf("cardinality(1) after UDP ingest = %d, %v; want 250", card, err)
+	}
+	sim, err := cl.Similarity(ctx, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Jaccard <= 0 {
+		t.Fatalf("overlapping users estimate %+v, want positive jaccard", sim)
+	}
+
+	// /v1/stats carries the UDP ledger when the plane is on.
+	resp, err := http.Get(base + server.RouteStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.UDP == nil {
+		t.Fatal("/v1/stats has no udp section with -udp-listen on")
+	}
+	if st.UDP.EdgesApplied != 500 || st.UDP.FramesApplied == 0 {
+		t.Fatalf("udp stats: %+v, want 500 edges applied", st.UDP)
+	}
+	if st.UDP.GapsDetected != 0 || st.UDP.ReplaysDropped != 0 || st.UDP.Malformed != 0 || st.UDP.AdmitRejected != 0 {
+		t.Fatalf("loopback clean delivery reported loss: %+v", st.UDP)
+	}
 }
 
 // TestVosdSmoke is the CI end-to-end gate: build the daemon, ingest a

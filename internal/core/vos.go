@@ -104,6 +104,16 @@ type VOS struct {
 	fslots *hashing.FastFamily // KindFast: one strong hash + splitmix64 expansion
 	card   map[stream.User]int64
 
+	// fastMemo caches per-user fast-family expansion states for the
+	// single-slot ingest path: real streams repeat users heavily, so the
+	// direct-mapped table turns the per-edge Hash64 into a multiply-indexed
+	// load on repeats. It is written by Process/ProcessBatch ONLY — the
+	// read paths (position, fillPositions) must not touch it, because
+	// read-only methods may run concurrently on a quiescent sketch and a
+	// memo write would race. nil when the family is classic (or in the
+	// no-memo benchmark baseline); positions are identical either way.
+	fastMemo []fastMemoEntry
+
 	// pos optionally caches per-user position tables (see Positions).
 	// nil means positions are recomputed per call. The cache is
 	// thread-safe, so attaching one keeps the read paths race-clean.
@@ -144,10 +154,41 @@ func New(cfg Config) (*VOS, error) {
 	}
 	if cfg.Family == hashing.KindFast {
 		v.fslots = hashing.NewFastFamily(cfg.SketchBits, cfg.Seed)
+		v.fastMemo = make([]fastMemoEntry, 1<<fastMemoBits)
 	} else {
 		v.slots = hashing.NewFamily(cfg.SketchBits, cfg.Seed)
 	}
 	return v, nil
+}
+
+// fastMemoBits sizes the ingest-path state memo: 1024 direct-mapped
+// entries (24 KiB) — enough that a shard's working set of hot users mostly
+// sticks, small enough to live in L1/L2 next to the ingest loop.
+const fastMemoBits = 10
+
+// fastMemoEntry is one memoized (user key → expansion state) pair. live
+// distinguishes an empty slot from user 0.
+type fastMemoEntry struct {
+	key   uint64
+	state uint64
+	live  bool
+}
+
+// fastState returns the fast-family expansion state for key through the
+// ingest-path memo (mutating it — callers are the write paths, which are
+// single-threaded by contract). A direct-mapped table keeps the lookup one
+// multiply and one load; collisions simply overwrite.
+func (v *VOS) fastState(key uint64) uint64 {
+	if v.fastMemo == nil {
+		return v.fslots.State(key)
+	}
+	e := &v.fastMemo[(key*0x9e3779b97f4a7c15)>>(64-fastMemoBits)]
+	if e.live && e.key == key {
+		return e.state
+	}
+	st := v.fslots.State(key)
+	*e = fastMemoEntry{key: key, state: st, live: true}
+	return st
 }
 
 // MustNew is New for static configurations; it panics on error.
@@ -239,7 +280,11 @@ func (v *VOS) fillPositions(dst []uint64, u stream.User) {
 func (v *VOS) Process(e stream.Edge) {
 	v.version++ // invalidates every cached recovered sketch
 	j := v.slot(e.Item)
-	v.arr.Flip(v.position(e.User, j))
+	if v.fslots != nil {
+		v.arr.Flip(hashing.PositionFromState(v.fastState(uint64(e.User)), j, v.cfg.MemoryBits))
+	} else {
+		v.arr.Flip(v.position(e.User, j))
+	}
 	v.bump(e.User, opDelta(e.Op))
 }
 
@@ -255,7 +300,7 @@ func (v *VOS) ProcessBatch(edges []stream.Edge) {
 	if v.fslots != nil {
 		for _, e := range edges {
 			j := v.slot(e.Item)
-			v.arr.Flip(v.fslots.HashRange(j, uint64(e.User), v.cfg.MemoryBits))
+			v.arr.Flip(hashing.PositionFromState(v.fastState(uint64(e.User)), j, v.cfg.MemoryBits))
 			v.bump(e.User, opDelta(e.Op))
 		}
 		return

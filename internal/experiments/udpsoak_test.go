@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestUDPSoakSmoke runs the full soak — HTTP row, clean datagram row,
+// fault-injected row — at a tiny scale. The experiment self-gates: any
+// undetected loss, counter drift from the injected fault plan, or sketch
+// divergence from the in-process oracle is an error, so a returned table
+// IS the assertion. The shape checks below only pin the report format.
+func TestUDPSoakSmoke(t *testing.T) {
+	tbl, err := UDPSoak(tinyOptions(), UDPSoakOptions{Edges: 4000, BatchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("got %d rows, want http, udp, udp-faults", len(tbl.Rows))
+	}
+	for i, transport := range []string{"http", "udp", "udp-faults"} {
+		if tbl.Rows[i][0] != transport {
+			t.Fatalf("row %d is %q, want %q", i, tbl.Rows[i][0], transport)
+		}
+		if parity := tbl.Rows[i][len(tbl.Rows[i])-1]; parity != "yes" {
+			t.Fatalf("row %d parity = %q", i, parity)
+		}
+	}
+	// The clean datagram row must report a spotless ledger.
+	udp := tbl.Rows[1]
+	for _, col := range []int{8, 9, 10} { // gaps, replays, late
+		if udp[col] != "0" {
+			t.Fatalf("clean udp row has %s = %q, want 0", tbl.Header[col], udp[col])
+		}
+	}
+}

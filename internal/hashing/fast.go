@@ -111,14 +111,20 @@ func (f *FastFamily) state(key uint64) uint64 {
 	return Hash64(key, f.seed^fastSeedTag)
 }
 
-// HashRange returns member j's position for key, reduced onto [0, n) —
-// random access into the same sequence HashRangeInto streams, in O(1):
-// counter-based generation has no sequential dependency. For n ≤ 2^32 each
-// 64-bit output carries two positions (low half = even j, high half = odd
-// j), reduced with the 32-bit fixed-point multiply; wider ranges use one
-// full output per position with the 64-bit Lemire reduction.
-func (f *FastFamily) HashRange(j int, key, n uint64) uint64 {
-	x := f.state(key)
+// State returns the per-key expansion state, the value PositionFromState
+// consumes. It is the family's only per-key hash work: callers making many
+// single-position lookups for recurring keys (the sketch's per-edge ingest
+// loop) can memoize it and skip the Hash64 on repeats. The state is
+// seed-dependent — never reuse one across families.
+func (f *FastFamily) State(key uint64) uint64 { return f.state(key) }
+
+// PositionFromState is HashRange with the key's hash work already done:
+// PositionFromState(f.State(key), j, n) == f.HashRange(j, key, n) for
+// every j and n. For n ≤ 2^32 each 64-bit splitmix64 output carries two
+// positions (low half = even j, high half = odd j), reduced with the
+// 32-bit fixed-point multiply; wider ranges use one full output per
+// position with the 64-bit Lemire reduction.
+func PositionFromState(x uint64, j int, n uint64) uint64 {
 	if n <= 1<<32 {
 		w := Mix64(x + (uint64(j>>1)+1)*golden)
 		if j&1 != 0 {
@@ -130,6 +136,13 @@ func (f *FastFamily) HashRange(j int, key, n uint64) uint64 {
 		return (uint64(uint32(w)) * n) >> 32
 	}
 	return Reduce(Mix64(x+(uint64(j)+1)*golden), n)
+}
+
+// HashRange returns member j's position for key, reduced onto [0, n) —
+// random access into the same sequence HashRangeInto streams, in O(1):
+// counter-based generation has no sequential dependency.
+func (f *FastFamily) HashRange(j int, key, n uint64) uint64 {
+	return PositionFromState(f.state(key), j, n)
 }
 
 // HashRangeInto fills dst[j] with member j's position for key, reduced

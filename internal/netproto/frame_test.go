@@ -1,0 +1,153 @@
+package netproto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/vossketch/vos/internal/stream"
+)
+
+func testEdges(n int) []stream.Edge {
+	edges := make([]stream.Edge, n)
+	for i := range edges {
+		op := stream.Insert
+		if i%3 == 0 {
+			op = stream.Delete
+		}
+		edges[i] = stream.Edge{User: stream.User(i * 7), Item: stream.Item(i*13 + 1), Op: op}
+	}
+	return edges
+}
+
+func TestDataFrameRoundTrip(t *testing.T) {
+	edges := testEdges(100)
+	buf, err := AppendDataFrame(nil, 0xdeadbeef, 42, FlagAckRequest, edges)
+	if err != nil {
+		t.Fatalf("AppendDataFrame: %v", err)
+	}
+	f, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if f.Type != TypeData || f.Flags != FlagAckRequest || f.Session != 0xdeadbeef || f.Seq != 42 || f.Count != 100 {
+		t.Fatalf("header mismatch: %+v", f)
+	}
+	got, err := f.DecodeEdges()
+	if err != nil {
+		t.Fatalf("DecodeEdges: %v", err)
+	}
+	if len(got) != len(edges) {
+		t.Fatalf("decoded %d edges, want %d", len(got), len(edges))
+	}
+	for i := range got {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d: got %+v want %+v", i, got[i], edges[i])
+		}
+	}
+}
+
+func TestZeroEdgeDataFrame(t *testing.T) {
+	buf, err := AppendDataFrame(nil, 1, 9, 0, nil)
+	if err != nil {
+		t.Fatalf("AppendDataFrame: %v", err)
+	}
+	if len(buf) != HeaderSize {
+		t.Fatalf("zero-edge frame is %d bytes, want %d", len(buf), HeaderSize)
+	}
+	f, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	edges, err := f.DecodeEdges()
+	if err != nil || len(edges) != 0 {
+		t.Fatalf("DecodeEdges: %v (%d edges)", err, len(edges))
+	}
+}
+
+func TestAckFrameRoundTrip(t *testing.T) {
+	want := Ack{Session: 7, EchoSeq: 123, Highest: 130, Applied: 120, Gaps: 3, Replays: 2}
+	buf := AppendAckFrame(nil, want)
+	f, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if f.Type != TypeAck {
+		t.Fatalf("type %d, want ack", f.Type)
+	}
+	got, err := f.DecodeAck()
+	if err != nil {
+		t.Fatalf("DecodeAck: %v", err)
+	}
+	if got != want {
+		t.Fatalf("ack mismatch: got %+v want %+v", got, want)
+	}
+}
+
+func TestAppendDataFrameRefusesOversized(t *testing.T) {
+	// Max-width elements: ~10 bytes each, so 10k edges blow the 64 KiB cap.
+	edges := make([]stream.Edge, 10_000)
+	for i := range edges {
+		edges[i] = stream.Edge{User: 1<<63 - 1, Item: 1<<64 - 1, Op: stream.Insert}
+	}
+	if _, err := AppendDataFrame(nil, 1, 1, 0, edges); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized frame: got %v, want ErrBadFrame", err)
+	}
+}
+
+func TestDecodeFrameRejections(t *testing.T) {
+	good, err := AppendDataFrame(nil, 5, 6, 0, testEdges(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(fn func([]byte)) []byte {
+		b := bytes.Clone(good)
+		fn(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   good[:HeaderSize-1],
+		"truncated body": good[:len(good)-1],
+		"oversized":      make([]byte, MaxFrameSize+1),
+		"bad magic":      mutate(func(b []byte) { b[0] = 'X' }),
+		"bad version":    mutate(func(b []byte) { b[8] = 99 }),
+		"bad type":       mutate(func(b []byte) { b[9] = 77 }),
+		"forged count":   mutate(func(b []byte) { b[28], b[29], b[30], b[31] = 0xff, 0xff, 0xff, 0xff }),
+		"trailing junk":  append(bytes.Clone(good), 0x00),
+		"short ack":      AppendAckFrame(nil, Ack{})[:HeaderSize+ackPayloadSize-1],
+		"ack with count": mutate(func(b []byte) { b[9] = TypeAck }),
+	}
+	for name, data := range cases {
+		f, err := DecodeFrame(data)
+		if err == nil {
+			// Forged lengths that survive the header check must still die in
+			// the payload decoder, never panic or mis-decode.
+			if _, err2 := f.DecodeEdges(); err2 == nil {
+				t.Errorf("%s: accepted end to end", name)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: error %v is not ErrBadFrame", name, err)
+		}
+	}
+}
+
+func TestDecodeWrongTypeHelpers(t *testing.T) {
+	data, _ := AppendDataFrame(nil, 1, 1, 0, testEdges(2))
+	df, err := DecodeFrame(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.DecodeAck(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("DecodeAck on data frame: %v", err)
+	}
+	af, err := DecodeFrame(AppendAckFrame(nil, Ack{Session: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := af.DecodeEdges(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("DecodeEdges on ack frame: %v", err)
+	}
+}

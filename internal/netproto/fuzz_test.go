@@ -1,0 +1,61 @@
+package netproto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzVOSSTRM1Frame throws adversarial datagrams at the frame decoder:
+// truncated, oversized, bad-magic, bad-version, forged-count, and mutated
+// valid frames. The decoder must never panic, never allocate from a
+// forged length, and reject everything malformed with ErrBadFrame.
+func FuzzVOSSTRM1Frame(f *testing.F) {
+	good, err := AppendDataFrame(nil, 0x1122334455667788, 42, FlagAckRequest, testEdges(5))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bytes.Clone(good))
+	f.Add(AppendAckFrame(nil, Ack{Session: 3, EchoSeq: 4, Highest: 9, Applied: 5, Gaps: 1, Replays: 2}))
+	f.Add(good[:HeaderSize-3])          // truncated header
+	f.Add(good[:len(good)-1])           // truncated payload
+	f.Add(make([]byte, MaxFrameSize+7)) // oversized
+	f.Add([]byte("VOSDGRM1 but then garbage follows the magic"))
+	badVersion := bytes.Clone(good)
+	badVersion[8] = 0x7f
+	f.Add(badVersion)
+	forgedCount := bytes.Clone(good)
+	forgedCount[28], forgedCount[29], forgedCount[30], forgedCount[31] = 0xff, 0xff, 0xff, 0xff
+	f.Add(forgedCount)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("rejection is not ErrBadFrame: %v", err)
+			}
+			return
+		}
+		switch fr.Type {
+		case TypeData:
+			edges, err := fr.DecodeEdges()
+			if err != nil {
+				if !errors.Is(err, ErrBadFrame) {
+					t.Fatalf("payload rejection is not ErrBadFrame: %v", err)
+				}
+				return
+			}
+			if len(edges) != int(fr.Count) {
+				t.Fatalf("decoded %d edges from a frame claiming %d", len(edges), fr.Count)
+			}
+		case TypeAck:
+			// A header-validated ack has a fixed-size payload; decoding it
+			// must always succeed.
+			if _, err := fr.DecodeAck(); err != nil {
+				t.Fatalf("validated ack failed to decode: %v", err)
+			}
+		default:
+			t.Fatalf("DecodeFrame accepted unknown type %d", fr.Type)
+		}
+	})
+}

@@ -15,9 +15,9 @@ import (
 	"strings"
 	"sync"
 	"time"
-	"unsafe"
 
 	"github.com/vossketch/vos"
+	"github.com/vossketch/vos/internal/admit"
 	"github.com/vossketch/vos/internal/metrics"
 	"github.com/vossketch/vos/internal/stream"
 )
@@ -74,6 +74,15 @@ type Options struct {
 	// Default 128 MiB, sized so one maximal binary batch under the
 	// default MaxBatchBytes (13 x 8 MiB = 104 MiB) is admissible.
 	MaxInFlightBytes int64
+	// Admission, when non-nil, replaces the controller the server would
+	// build from the two byte limits above — the way vosd makes the HTTP
+	// handlers and the UDP listener share one process-wide ingest budget.
+	// The controller's own limits win over MaxBatchBytes/MaxInFlightBytes.
+	Admission *admit.Controller
+	// UDPStats, when non-nil, is polled by /v1/stats to report the UDP
+	// ingest plane's counters alongside the engine's (vosd wires it to the
+	// datagram receiver when -udp-listen is set).
+	UDPStats func() metrics.UDPStats
 	// Logger, when non-nil, receives one line per request: method, route,
 	// status, duration, and body size.
 	Logger *log.Logger
@@ -112,11 +121,11 @@ type Server struct {
 	opt Options
 	mux *http.ServeMux
 
-	// inflight is the remaining ingest byte budget (guards memory, not
-	// correctness: the service itself applies its own backpressure by
-	// blocking when shard queues fill).
-	inflightMu sync.Mutex
-	inflight   int64
+	// adm is the ingest admission budget (guards memory, not correctness:
+	// the service itself applies its own backpressure by blocking when
+	// shard queues fill). Possibly shared with other ingest transports via
+	// Options.Admission.
+	adm *admit.Controller
 
 	// draining and inFlight share drainMu: requests are admitted
 	// (inFlight.Add under RLock, after re-checking the flag) only while
@@ -138,13 +147,22 @@ type Server struct {
 // with an http.Server (or httptest) owned by the caller.
 func New(svc vos.SimilarityService, opt Options) *Server {
 	opt = opt.withDefaults()
+	adm := opt.Admission
+	if adm == nil {
+		adm = admit.NewController(opt.MaxBatchBytes, opt.MaxInFlightBytes)
+	} else {
+		// An injected controller owns the limits; the handler-side checks
+		// (MaxBytesReader, chunked-length substitution) must agree with it.
+		opt.MaxBatchBytes = adm.MaxBatchBytes()
+		opt.MaxInFlightBytes = adm.MaxInFlightBytes()
+	}
 	s := &Server{
-		svc:      svc,
-		opt:      opt,
-		mux:      http.NewServeMux(),
-		start:    time.Now(),
-		byRoute:  make(map[string]*endpointStats),
-		inflight: opt.MaxInFlightBytes,
+		svc:     svc,
+		opt:     opt,
+		mux:     http.NewServeMux(),
+		adm:     adm,
+		start:   time.Now(),
+		byRoute: make(map[string]*endpointStats),
 	}
 	s.handle(RouteEdges, http.MethodPost, s.handleEdges)
 	s.handle(RouteSimilarity, http.MethodGet, s.handleSimilarity)
@@ -273,25 +291,20 @@ func (s *Server) handle(route, method string, h http.HandlerFunc) {
 // --- ingest ---
 
 func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
-	// Admission control: charge this request's worst-case memory — wire
-	// bytes (declared, or the per-request cap for chunked bodies of
-	// unknown length) plus the largest edge slice the body could decode to
-	// — against the in-flight budget before reading a byte. JSON and
-	// NDJSON decode to roughly their wire size, but the binary format
-	// packs an edge into as little as 2 wire bytes, so its decoded slice
-	// can be ~12x the body; charging wire bytes alone would admit far more
-	// decoded memory than the budget names, and charging only after
-	// decoding would bound nothing — the allocation would already exist.
-	// The pessimistic hold is trimmed to the real footprint once parsing
-	// reveals the edge count.
+	// Admission control (internal/admit): charge this request's worst-case
+	// memory — wire bytes (declared, or the per-request cap for chunked
+	// bodies of unknown length) plus the largest edge slice the body could
+	// decode to — against the in-flight budget before reading a byte. The
+	// hold is trimmed to the real footprint once parsing reveals the edge
+	// count. Only the length handling is HTTP-specific: chunked binary
+	// would have to charge the cap's worst case — a fixed ~13x
+	// MaxBatchBytes no matter how small the body, which under a tight
+	// budget rejects requests that splitting cannot save. Binary senders
+	// buffer batches anyway (the Go client does), so demand the length
+	// instead of guessing.
 	wire := r.ContentLength
 	isBinary := normalizeCT(r.Header.Get("Content-Type")) == ContentTypeBinary
 	if wire < 0 {
-		// Chunked binary would have to charge the cap's worst case — a
-		// fixed ~13x MaxBatchBytes no matter how small the body, which
-		// under a tight budget rejects requests that splitting cannot
-		// save. Binary senders buffer batches anyway (the Go client
-		// does), so demand the length instead of guessing.
 		if isBinary {
 			writeError(w, http.StatusLengthRequired, CodeBadRequest,
 				"binary ingest requires Content-Length")
@@ -299,31 +312,24 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		}
 		wire = s.opt.MaxBatchBytes
 	}
-	if wire > s.opt.MaxBatchBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
-			fmt.Sprintf("ingest body %d bytes exceeds the %d byte limit; split the batch", wire, s.opt.MaxBatchBytes))
+	hold, admitErr := s.adm.Admit(wire, isBinary)
+	if admitErr != nil {
+		var tooLarge *admit.BatchTooLargeError
+		var overBudget *admit.BudgetExceededError
+		switch {
+		case errors.As(admitErr, &tooLarge), errors.As(admitErr, &overBudget):
+			// Retrying cannot help either way — tell the caller to split
+			// (the charge scales with the declared size, so splitting
+			// always helps).
+			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge, admitErr.Error())
+		default: // admit.ErrBackpressure: transient, so a retry hint
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, CodeBackpressure,
+				"in-flight ingest byte budget exhausted; retry after a delay")
+		}
 		return
 	}
-	held := wire
-	if isBinary {
-		held += wire / 2 * edgeMemBytes
-	}
-	if held > s.opt.MaxInFlightBytes {
-		// Could never be admitted even on an idle server, so retrying the
-		// 429 would loop forever — tell the caller to split instead
-		// (held scales with the declared size, so splitting always helps).
-		writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
-			fmt.Sprintf("batch worst-case footprint %d bytes exceeds the %d byte in-flight budget; split the batch",
-				held, s.opt.MaxInFlightBytes))
-		return
-	}
-	if !s.acquire(held) {
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, CodeBackpressure,
-			"in-flight ingest byte budget exhausted; retry after a delay")
-		return
-	}
-	defer func() { s.release(held) }()
+	defer hold.Close()
 
 	body := http.MaxBytesReader(w, r.Body, s.opt.MaxBatchBytes)
 	edges, maxTs, err := decodeEdges(r.Header.Get("Content-Type"), body)
@@ -349,10 +355,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	}
 	// Trim the pessimistic hold to the real footprint, freeing budget for
 	// concurrent requests while the engine ingests.
-	if actual := wire + int64(len(edges))*edgeMemBytes; actual < held {
-		s.release(held - actual)
-		held = actual
-	}
+	hold.Trim(len(edges))
 	// Timestamped ingest drives event time: the batch's largest timestamp
 	// rotates a windowed service forward before the edges land, so the
 	// window tracks stream time even when it outruns the wall clock.
@@ -515,27 +518,6 @@ func edgesFromWire(ws []EdgeJSON) ([]vos.Edge, float64, error) {
 	return out, maxTs, nil
 }
 
-// edgeMemBytes is the in-memory footprint of one decoded edge, used to
-// top up the wire-byte admission charge so the in-flight budget bounds
-// decoded slices too (binary edges can be ~2 bytes on the wire).
-const edgeMemBytes = int64(unsafe.Sizeof(vos.Edge{}))
-
-func (s *Server) acquire(n int64) bool {
-	s.inflightMu.Lock()
-	defer s.inflightMu.Unlock()
-	if n > s.inflight {
-		return false
-	}
-	s.inflight -= n
-	return true
-}
-
-func (s *Server) release(n int64) {
-	s.inflightMu.Lock()
-	s.inflight += n
-	s.inflightMu.Unlock()
-}
-
 // --- queries ---
 
 // checkAt enforces the query-time window guard for an "at" instant given
@@ -682,7 +664,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.writeServiceError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, StatsToWire(st))
+	resp := StatsToWire(st)
+	if s.opt.UDPStats != nil {
+		udp := UDPStatsToWire(s.opt.UDPStats())
+		resp.UDP = &udp
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {

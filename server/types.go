@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/vossketch/vos"
+	"github.com/vossketch/vos/internal/metrics"
 )
 
 // Wire types of the /v1/ API. They are defined here — in the server
@@ -151,6 +152,49 @@ type StatsResponse struct {
 	// HashFamily is the sketch's position-generation backend ("classic" or
 	// "fast"); see vos.HashFamily.
 	HashFamily string `json:"hash_family"`
+	// UDP is the UDP ingest plane's counter snapshot, present only when
+	// the serving process runs a datagram listener (vosd -udp-listen).
+	UDP *UDPStatsJSON `json:"udp,omitempty"`
+}
+
+// UDPStatsJSON is metrics.UDPStats on the wire: the datagram ingest
+// plane's delivery ledger. gaps_detected, replays_dropped, stale_dropped,
+// admit_rejected, and sink_errors all zero means every frame the plane
+// received has been applied exactly once — the sketch has not diverged
+// from what the senders sent.
+type UDPStatsJSON struct {
+	FramesReceived  uint64 `json:"frames_received"`
+	FramesApplied   uint64 `json:"frames_applied"`
+	EdgesApplied    uint64 `json:"edges_applied"`
+	Malformed       uint64 `json:"malformed"`
+	GapsDetected    uint64 `json:"gaps_detected"`
+	ReplaysDropped  uint64 `json:"replays_dropped"`
+	LateApplied     uint64 `json:"late_applied"`
+	StaleDropped    uint64 `json:"stale_dropped"`
+	AdmitRejected   uint64 `json:"admit_rejected"`
+	SinkErrors      uint64 `json:"sink_errors"`
+	AcksSent        uint64 `json:"acks_sent"`
+	Sessions        int    `json:"sessions"`
+	SessionsEvicted uint64 `json:"sessions_evicted"`
+}
+
+// UDPStatsToWire converts the metrics snapshot to its wire form.
+func UDPStatsToWire(s metrics.UDPStats) UDPStatsJSON {
+	return UDPStatsJSON{
+		FramesReceived:  s.FramesReceived,
+		FramesApplied:   s.FramesApplied,
+		EdgesApplied:    s.EdgesApplied,
+		Malformed:       s.Malformed,
+		GapsDetected:    s.GapsDetected,
+		ReplaysDropped:  s.ReplaysDropped,
+		LateApplied:     s.LateApplied,
+		StaleDropped:    s.StaleDropped,
+		AdmitRejected:   s.AdmitRejected,
+		SinkErrors:      s.SinkErrors,
+		AcksSent:        s.AcksSent,
+		Sessions:        s.Sessions,
+		SessionsEvicted: s.SessionsEvicted,
+	}
 }
 
 // Stats converts back to the engine type. An unrecognised (or absent)
