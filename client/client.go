@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -465,64 +464,24 @@ func (c *Client) getRetry(ctx context.Context, path string, out any) error {
 	})
 }
 
-// retry runs attempt up to 1+MaxRetries times, backing off exponentially.
-// Only transient failures are retried: transport errors and 5xx envelopes.
-// Context errors and 4xx envelopes are returned immediately.
+// retry applies the client's RetryPolicy (see retry.go) to attempt.
 func (c *Client) retry(ctx context.Context, attempt func() error) error {
-	backoff := c.opt.RetryBackoff
-	var err error
-	for try := 0; ; try++ {
-		err = attempt()
-		if err == nil || try >= c.opt.MaxRetries || !retryable(err) {
-			return err
-		}
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(backoff):
-		}
-		backoff *= 2
-	}
+	return c.Retry().Do(ctx, attempt)
 }
 
-// retryable reports whether err is worth a retry: transport-level failures
-// and server-side 5xx, but never context cancellation and never 4xx (the
-// request itself is wrong; resending it cannot help).
-func retryable(err error) bool {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return false
-	}
-	var apiErr *Error
-	if errors.As(err, &apiErr) {
-		return apiErr.Status >= 500 && apiErr.Status != http.StatusNotImplemented
-	}
-	return true // transport error
+// Retry returns the client's resolved read-retry policy, so a caller
+// coordinating several clients (one per cluster backend) can share one
+// policy definition across all of them.
+func (c *Client) Retry() RetryPolicy {
+	return RetryPolicy{MaxRetries: c.opt.MaxRetries, Backoff: c.opt.RetryBackoff}
 }
 
 // do executes the request and decodes a 2xx JSON body into out (out may be
 // nil to discard), or decodes the error envelope into *Error.
 func (c *Client) do(req *http.Request, out any) error {
-	resp, err := c.opt.HTTPClient.Do(req)
-	if err != nil {
-		// Surface the caller's context error undecorated so it is never
-		// mistaken for a retryable transport failure.
-		if ctxErr := req.Context().Err(); ctxErr != nil {
-			return ctxErr
-		}
-		return err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	body, _, err := c.doRaw(req)
 	if err != nil {
 		return err
-	}
-	if resp.StatusCode >= 400 {
-		var env server.ErrorEnvelope
-		if json.Unmarshal(body, &env) == nil && env.Error.Code != "" {
-			return &Error{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
-		}
-		return &Error{Status: resp.StatusCode, Code: server.CodeInternal,
-			Message: fmt.Sprintf("non-envelope response: %.200s", body)}
 	}
 	if out == nil {
 		return nil
@@ -531,4 +490,34 @@ func (c *Client) do(req *http.Request, out any) error {
 		return fmt.Errorf("client: decode %s response: %w", req.URL.Path, err)
 	}
 	return nil
+}
+
+// doRaw executes the request and returns a 2xx response's raw body and
+// headers, or decodes the error envelope into *Error. It is the transport
+// floor under do, split out for responses that are not JSON (the binary
+// cluster sketch) or whose headers carry protocol state (X-Vos-Partial).
+func (c *Client) doRaw(req *http.Request) ([]byte, http.Header, error) {
+	resp, err := c.opt.HTTPClient.Do(req)
+	if err != nil {
+		// Surface the caller's context error undecorated so it is never
+		// mistaken for a retryable transport failure.
+		if ctxErr := req.Context().Err(); ctxErr != nil {
+			return nil, nil, ctxErr
+		}
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode >= 400 {
+		var env server.ErrorEnvelope
+		if json.Unmarshal(body, &env) == nil && env.Error.Code != "" {
+			return nil, nil, &Error{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+		}
+		return nil, nil, &Error{Status: resp.StatusCode, Code: server.CodeInternal,
+			Message: fmt.Sprintf("non-envelope response: %.200s", body)}
+	}
+	return body, resp.Header, nil
 }

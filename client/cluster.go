@@ -1,0 +1,156 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+
+	"github.com/vossketch/vos"
+	"github.com/vossketch/vos/server"
+)
+
+// ExportSketch implements vos.StateExporter over GET /v1/cluster/sketch:
+// the remote service's complete serialized state (core wire format, as
+// vos.Unmarshal reads). It is a read, so it retries per the client's
+// RetryPolicy.
+func (c *Client) ExportSketch(ctx context.Context) ([]byte, error) {
+	var data []byte
+	err := c.retry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+server.RouteClusterSketch, nil)
+		if err != nil {
+			return err
+		}
+		data, _, err = c.doRaw(req)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// ImportSketch implements vos.StateImporter over POST /v1/cluster/import.
+// Like every write it is NEVER retried: sketch state is parity, so a
+// duplicate import XOR-cancels the first — an ambiguous outcome must be
+// resolved by the handoff coordinator (fresh target), not by resending.
+func (c *Client) ImportSketch(ctx context.Context, data []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+server.RouteClusterImport, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", server.ContentTypeBinary)
+	return c.do(req, nil)
+}
+
+// Compile-time checks: the HTTP client is a full state-transfer peer.
+var (
+	_ vos.StateExporter = (*Client)(nil)
+	_ vos.StateImporter = (*Client)(nil)
+)
+
+// ClusterClient speaks to a vosgw gateway. The embedded Client provides
+// the whole vos.SimilarityService surface (the gateway serves the same
+// /v1/ API a single vosd does — that symmetry is the point); the
+// additional methods cover the gateway-only routes: the ring, shard
+// handoff, cluster checkpoints, and degraded (partial) top-K.
+type ClusterClient struct {
+	*Client
+}
+
+// NewCluster builds a ClusterClient over a vosgw base URL.
+func NewCluster(gatewayURL string, opt Options) *ClusterClient {
+	return &ClusterClient{Client: New(gatewayURL, opt)}
+}
+
+// TopKPartial is TopK tolerating unreachable backends: the gateway
+// answers from the reachable portion of the cluster and flags the
+// degradation with the X-Vos-Partial response header, which this method
+// surfaces as complete=false. A retryable failure (transport, 5xx) is
+// retried per the client's RetryPolicy before the degraded answer is
+// accepted.
+func (c *ClusterClient) TopKPartial(ctx context.Context, u vos.User, candidates []vos.User, n int) ([]vos.TopKResult, bool, error) {
+	body, err := json.Marshal(server.TopKRequest{
+		User: uint64(u), N: n, Candidates: usersToWire(candidates),
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	var wire []server.TopKResultJSON
+	complete := true
+	err = c.retry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+server.RouteTopK, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", server.ContentTypeJSON)
+		raw, hdr, err := c.doRaw(req)
+		if err != nil {
+			return err
+		}
+		complete = hdr.Get(server.HeaderPartial) != "true"
+		return json.Unmarshal(raw, &wire)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	out := make([]vos.TopKResult, len(wire))
+	for i, w := range wire {
+		out[i] = vos.TopKResult{User: vos.User(w.User), Estimate: w.Estimate.Estimate()}
+	}
+	return out, complete, nil
+}
+
+// Ring fetches the gateway's live shard→node table.
+func (c *ClusterClient) Ring(ctx context.Context) (server.RingResponse, error) {
+	var resp server.RingResponse
+	if err := c.getRetry(ctx, server.RouteClusterRing, &resp); err != nil {
+		return server.RingResponse{}, err
+	}
+	return resp, nil
+}
+
+// Handoff moves cluster shard shard onto the fresh backend at to,
+// returning the ring version after the move. Not retried: a handoff that
+// failed ambiguously (the import may have landed) must be redone against
+// a fresh target, never replayed (see Client.ImportSketch).
+func (c *ClusterClient) Handoff(ctx context.Context, shard int, to string) (uint64, error) {
+	body, err := json.Marshal(server.HandoffRequest{Shard: shard, To: to})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+server.RouteClusterHandoff, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", server.ContentTypeJSON)
+	var resp server.HandoffResponse
+	if err := c.do(req, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// CheckpointCluster quiesces the whole cluster's ingest and checkpoints
+// every backend, returning the manifest rows. Not retried (a checkpoint
+// is safe to re-run but not free).
+func (c *ClusterClient) CheckpointCluster(ctx context.Context) (server.ClusterCheckpointResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+server.RouteClusterCheckpoint, nil)
+	if err != nil {
+		return server.ClusterCheckpointResponse{}, err
+	}
+	var resp server.ClusterCheckpointResponse
+	if err := c.do(req, &resp); err != nil {
+		return server.ClusterCheckpointResponse{}, err
+	}
+	return resp, nil
+}
+
+// usersToWire converts a candidate list to its wire form.
+func usersToWire(users []vos.User) []uint64 {
+	out := make([]uint64, len(users))
+	for i, u := range users {
+		out[i] = uint64(u)
+	}
+	return out
+}

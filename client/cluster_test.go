@@ -1,0 +1,327 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/vossketch/vos"
+	"github.com/vossketch/vos/client"
+	"github.com/vossketch/vos/internal/cluster"
+	"github.com/vossketch/vos/server"
+)
+
+// gatewayStack is a full in-process cluster: K engine-backed vosd
+// stand-ins, a gateway over them, and the gateway's HTTP face.
+type gatewayStack struct {
+	gw       *cluster.Gateway
+	backends []*server.Server
+	url      string
+}
+
+func newGatewayStack(t *testing.T, k int, gwOpt cluster.Options) *gatewayStack {
+	t.Helper()
+	cfg := vos.EngineConfig{Sketch: vos.Config{MemoryBits: 1 << 14, SketchBits: 256, Seed: 5}, Shards: 2}
+	backends := make([]*server.Server, k)
+	shards := make([]string, k)
+	for i := range backends {
+		eng, err := vos.NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends[i] = server.New(vos.NewEngineService(eng), server.Options{})
+		ts := httptest.NewServer(backends[i])
+		shards[i] = ts.URL
+		t.Cleanup(func() {
+			ts.Close()
+			eng.Close()
+		})
+	}
+	gwOpt.Client.MaxRetries = -1
+	gw, err := cluster.New(&cluster.Ring{Version: 1, RouteSeed: 3, Shards: shards}, gwOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(gw.Handler(server.New(gw, server.Options{})))
+	t.Cleanup(func() {
+		ts.Close()
+		gw.Close()
+	})
+	return &gatewayStack{gw: gw, backends: backends, url: ts.URL}
+}
+
+// TestClusterClientFullStack drives the whole tier through the public
+// client: ingest through the gateway, query scatter-gathered answers, read
+// the ring, hand a shard off to a fresh node, and verify the cluster's
+// exported state still matches a single direct engine byte for byte.
+func TestClusterClientFullStack(t *testing.T) {
+	ctx := context.Background()
+	st := newGatewayStack(t, 3, cluster.Options{})
+	cl := client.NewCluster(st.url, client.Options{MaxRetries: -1})
+	t.Cleanup(func() { cl.Close() })
+
+	direct, err := vos.NewEngine(vos.EngineConfig{Sketch: vos.Config{MemoryBits: 1 << 14, SketchBits: 256, Seed: 5}, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { direct.Close() })
+
+	var edges []vos.Edge
+	for i := uint64(0); i < 3000; i++ {
+		edges = append(edges, edge(i%60, i%977))
+	}
+	if err := cl.Ingest(ctx, edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.ProcessBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	direct.Flush()
+
+	for u := vos.User(0); u < 60; u += 7 {
+		got, err := cl.Similarity(ctx, u, u+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := direct.Query(u, u+1); got != want {
+			t.Fatalf("Similarity(%d,%d) over the stack = %+v, direct engine %+v", u, u+1, got, want)
+		}
+		card, err := cl.Cardinality(ctx, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := direct.Cardinality(u); card != want {
+			t.Fatalf("Cardinality(%d) = %d, want %d", u, card, want)
+		}
+	}
+
+	ring, err := cl.Ring(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Version != 1 || len(ring.Shards) != 3 {
+		t.Fatalf("ring over the wire: %+v", ring)
+	}
+
+	// Handoff through the client to a fresh backend.
+	freshEng, err := vos.NewEngine(vos.EngineConfig{Sketch: vos.Config{MemoryBits: 1 << 14, SketchBits: 256, Seed: 5}, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshTS := httptest.NewServer(server.New(vos.NewEngineService(freshEng), server.Options{}))
+	t.Cleanup(func() {
+		freshTS.Close()
+		freshEng.Close()
+	})
+	version, err := cl.Handoff(ctx, 1, freshTS.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 2 {
+		t.Fatalf("ring version after handoff over the wire: %d", version)
+	}
+
+	// State parity survives the move: the gateway's export (fetched via
+	// the embedded client's StateExporter) equals the direct engine's.
+	state, err := cl.ExportSketch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(state, want) {
+		t.Fatal("cluster export after handoff differs from the direct engine")
+	}
+}
+
+// TestClusterClientPartialTopK is the degraded-read pin: one backend
+// draining (503) must NOT fail a scatter-gather top-K through the full
+// client→gateway stack — the answer comes back with the partial flag.
+func TestClusterClientPartialTopK(t *testing.T) {
+	ctx := context.Background()
+	// Snapshot cache off so the gather really contacts the drained node.
+	st := newGatewayStack(t, 3, cluster.Options{DisableSnapshotCache: true})
+	cl := client.NewCluster(st.url, client.Options{MaxRetries: -1})
+	t.Cleanup(func() { cl.Close() })
+
+	var edges []vos.Edge
+	for i := uint64(0); i < 2000; i++ {
+		edges = append(edges, edge(i%40, i%613))
+	}
+	if err := cl.Ingest(ctx, edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	candidates := make([]vos.User, 0, 39)
+	for u := vos.User(0); u < 40; u++ {
+		if u != 1 {
+			candidates = append(candidates, u)
+		}
+	}
+
+	// Healthy cluster: the same call reports complete.
+	results, complete, err := cl.TopKPartial(ctx, 1, candidates, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !complete {
+		t.Fatal("healthy cluster reported a partial answer")
+	}
+	if len(results) != 5 {
+		t.Fatalf("healthy top-K returned %d results", len(results))
+	}
+
+	// Drain one backend: its /v1/ routes now answer 503 draining.
+	if err := st.backends[2].Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	results, complete, err = cl.TopKPartial(ctx, 1, candidates, 5)
+	if err != nil {
+		t.Fatalf("scatter-gather top-K must survive one draining backend: %v", err)
+	}
+	if complete {
+		t.Fatal("degraded top-K did not set the partial flag")
+	}
+	if len(results) == 0 {
+		t.Fatal("degraded top-K returned nothing")
+	}
+
+	// The strict read path does fail — partial tolerance is opt-in.
+	if _, err := cl.Similarity(ctx, 1, 2); err == nil {
+		t.Fatal("strict similarity should fail with a backend draining")
+	}
+}
+
+// TestClusterClientCheckpointUnsupported: cluster checkpoint over
+// memory-only backends surfaces the backends' 501 as a typed *client.Error
+// rather than fabricating a manifest.
+func TestClusterClientCheckpointUnsupported(t *testing.T) {
+	st := newGatewayStack(t, 2, cluster.Options{})
+	cl := client.NewCluster(st.url, client.Options{MaxRetries: -1})
+	t.Cleanup(func() { cl.Close() })
+	if _, err := cl.CheckpointCluster(context.Background()); err == nil {
+		t.Fatal("checkpoint over memory-only backends must fail")
+	}
+}
+
+// TestRetryPolicyDo pins the extracted policy's attempt accounting: n
+// retries mean n+1 attempts, non-retryable errors stop immediately, and a
+// cancelled context interrupts the backoff wait.
+func TestRetryPolicyDo(t *testing.T) {
+	p := client.RetryPolicy{MaxRetries: 2, Backoff: time.Millisecond}
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		return &client.Error{Status: 500, Code: server.CodeInternal}
+	})
+	if calls != 3 {
+		t.Fatalf("2 retries made %d attempts, want 3", calls)
+	}
+	var ce *client.Error
+	if !errors.As(err, &ce) || ce.Status != 500 {
+		t.Fatalf("exhausted retry returned %v", err)
+	}
+
+	calls = 0
+	err = p.Do(context.Background(), func() error {
+		calls++
+		return &client.Error{Status: 400, Code: server.CodeBadRequest}
+	})
+	if calls != 1 || err == nil {
+		t.Fatalf("non-retryable error: %d attempts, err %v", calls, err)
+	}
+
+	calls = 0
+	if err := p.Do(context.Background(), func() error { calls++; return nil }); err != nil || calls != 1 {
+		t.Fatalf("success path: %d attempts, err %v", calls, err)
+	}
+
+	// Negative retries disable retrying entirely.
+	calls = 0
+	p = client.RetryPolicy{MaxRetries: -1}
+	p.Do(context.Background(), func() error {
+		calls++
+		return &client.Error{Status: 503, Code: server.CodeDraining}
+	})
+	if calls != 1 {
+		t.Fatalf("MaxRetries -1 made %d attempts, want 1", calls)
+	}
+
+	// A cancelled context stops the loop during the wait.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p = client.RetryPolicy{MaxRetries: 5, Backoff: time.Hour}
+	err = p.Do(ctx, func() error { return &client.Error{Status: 500} })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled backoff wait returned %v", err)
+	}
+}
+
+// TestRetryable pins the shared classification the single-node client and
+// the gateway's per-backend calls both use.
+func TestRetryable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"transport", errors.New("connection refused"), true},
+		{"500", &client.Error{Status: 500}, true},
+		{"503 draining", &client.Error{Status: 503, Code: server.CodeDraining}, true},
+		{"501 unsupported", &client.Error{Status: 501, Code: server.CodeUnsupported}, false},
+		{"400", &client.Error{Status: 400}, false},
+		{"404", &client.Error{Status: 404}, false},
+		{"context canceled", context.Canceled, false},
+		{"deadline exceeded", context.DeadlineExceeded, false},
+	}
+	for _, tc := range cases {
+		if got := client.Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestClientRetryMatchesOptions: Client.Retry exposes the policy the
+// client itself runs, built from its options.
+func TestClientRetryMatchesOptions(t *testing.T) {
+	cl := client.New("http://127.0.0.1:1", client.Options{MaxRetries: 7, RetryBackoff: 3 * time.Second})
+	defer cl.Close()
+	p := cl.Retry()
+	if p.MaxRetries != 7 || p.Backoff != 3*time.Second {
+		t.Fatalf("Retry() = %+v", p)
+	}
+}
+
+// TestImportSketchNotRetried: a transient 500 on the import route must
+// surface immediately — replaying an import that may have landed would
+// XOR-cancel it.
+func TestImportSketchNotRetried(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.WriteHeader(500)
+	}))
+	t.Cleanup(ts.Close)
+	cl := client.New(ts.URL, client.Options{MaxRetries: 5, RetryBackoff: time.Millisecond})
+	t.Cleanup(func() { cl.Close() })
+	if err := cl.ImportSketch(context.Background(), []byte("state")); err == nil {
+		t.Fatal("import against a failing backend must error")
+	}
+	if calls != 1 {
+		t.Fatalf("import route was called %d times, want exactly 1 (writes are never retried)", calls)
+	}
+}

@@ -13,7 +13,7 @@
 //
 // Experiments: fig2a, fig2b, fig3a, fig3b, fig3c, fig3d, abl-lambda,
 // abl-load, abl-dense, abl-delbias, compare, throughput, query, hashing,
-// window, topk-ann, udpsoak, all.
+// window, topk-ann, udpsoak, cluster, all.
 //
 // The throughput experiment measures the sharded ingestion engine: for
 // each shard count it ingests the runtime workload through vos.Engine,
@@ -50,6 +50,15 @@
 // injected fault surfaces in the receiver's counters exactly and each
 // transport's sketch is bit-identical to an in-process oracle.
 //
+// The cluster experiment measures the gateway tier (internal/cluster):
+// for each node count it stands up K engine-backed nodes behind a
+// scatter-gather gateway over real loopback HTTP, fans the workload in
+// through the ring's user partition (multi-node rows include a live shard
+// handoff at half-stream), and reports sharded-ingest throughput plus
+// cold-gather and cached-snapshot query cost — refusing to emit a row
+// unless the cluster's merged export is bit-identical to a single
+// in-process engine over the same stream and sampled answers match it.
+//
 // The topk-ann experiment measures the approximate top-K path
 // (Engine.TopKApprox over the banded-LSH index) against the exact scan on
 // a planted heavy-cluster workload, and refuses to emit a timing row when
@@ -73,7 +82,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (fig2a fig2b fig3a fig3b fig3c fig3d abl-lambda abl-load abl-dense abl-delbias compare throughput query hashing window topk-ann udpsoak all)")
+		experiment = flag.String("experiment", "all", "experiment id (fig2a fig2b fig3a fig3b fig3c fig3d abl-lambda abl-load abl-dense abl-delbias compare throughput query hashing window topk-ann udpsoak cluster all)")
 		scale      = flag.Float64("scale", 0.01, "dataset profile scale factor (paper scale = 1.0)")
 		seed       = flag.Int64("seed", 2, "workload seed")
 		k32        = flag.Int("k", 100, "registers per user for the baselines (paper: 100)")
@@ -87,6 +96,9 @@ func main() {
 		buckets    = flag.Int("buckets", 8, "sliding-window bucket count for -experiment window")
 		soakEdges  = flag.Int("soak-edges", 200_000, "workload size per transport for -experiment udpsoak")
 		soakBatch  = flag.Int("soak-batch", 256, "edges per batch/frame for -experiment udpsoak")
+
+		clusterEdges = flag.Int("cluster-edges", 120_000, "workload size per cluster run for -experiment cluster")
+		clusterNodes = flag.String("cluster-nodes", "1,2,3,4", "comma-separated node counts for -experiment cluster")
 
 		annUsers     = flag.Int("ann-users", 100000, "total population for -experiment topk-ann")
 		annBands     = flag.Int("ann-bands", 0, "LSH bands for -experiment topk-ann (0 = experiment default 128)")
@@ -130,7 +142,13 @@ func main() {
 
 	soakOpts := experiments.UDPSoakOptions{Edges: *soakEdges, BatchSize: *soakBatch}
 
-	tables, err := runWithShards(*experiment, opts, shardCounts, *buckets, annOpts, soakOpts)
+	clusterNodeCounts, err := parseIntList(*clusterNodes, "-cluster-nodes")
+	if err != nil {
+		fatal(err)
+	}
+	clusterOpts := experiments.ClusterOptions{Edges: *clusterEdges, Nodes: clusterNodeCounts}
+
+	tables, err := runWithShards(*experiment, opts, shardCounts, *buckets, annOpts, soakOpts, clusterOpts)
 	if err != nil {
 		fatal(err)
 	}
@@ -173,7 +191,7 @@ func writeCSV(dir string, t *experiments.Table) error {
 // runWithShards dispatches experiments that take extra topology knobs
 // (the shard-count sweep, the window bucket count, the ANN shape) and
 // delegates everything else to run.
-func runWithShards(id string, opts experiments.Options, shardCounts []int, buckets int, annOpts experiments.TopKANNOptions, soakOpts experiments.UDPSoakOptions) ([]*experiments.Table, error) {
+func runWithShards(id string, opts experiments.Options, shardCounts []int, buckets int, annOpts experiments.TopKANNOptions, soakOpts experiments.UDPSoakOptions, clusterOpts experiments.ClusterOptions) ([]*experiments.Table, error) {
 	switch id {
 	case "throughput":
 		t, err := experiments.Throughput(opts, shardCounts)
@@ -186,6 +204,9 @@ func runWithShards(id string, opts experiments.Options, shardCounts []int, bucke
 		return one(t, err)
 	case "udpsoak":
 		t, err := experiments.UDPSoak(opts, soakOpts)
+		return one(t, err)
+	case "cluster":
+		t, err := experiments.Cluster(opts, clusterOpts)
 		return one(t, err)
 	}
 	return run(id, opts)

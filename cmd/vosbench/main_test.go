@@ -35,7 +35,7 @@ func TestRunThroughput(t *testing.T) {
 		Seed: 3, K32: 8, Lambda: 2,
 		RuntimeUsers: 50, RuntimeEdges: 2_000,
 	}
-	tables, err := runWithShards("throughput", opts, []int{1, 2}, 8, experiments.TopKANNOptions{}, experiments.UDPSoakOptions{})
+	tables, err := runWithShards("throughput", opts, []int{1, 2}, 8, experiments.TopKANNOptions{}, experiments.UDPSoakOptions{}, experiments.ClusterOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestRunThroughput(t *testing.T) {
 		}
 	}
 	// Ids without topology knobs must still dispatch through run.
-	if _, err := runWithShards("nope", opts, []int{1}, 8, experiments.TopKANNOptions{}, experiments.UDPSoakOptions{}); err == nil {
+	if _, err := runWithShards("nope", opts, []int{1}, 8, experiments.TopKANNOptions{}, experiments.UDPSoakOptions{}, experiments.ClusterOptions{}); err == nil {
 		t.Error("unknown experiment accepted via runWithShards")
 	}
 }
@@ -61,7 +61,7 @@ func TestRunWindow(t *testing.T) {
 		Seed: 3, K32: 8, Lambda: 2,
 		RuntimeUsers: 50, RuntimeEdges: 2_000, MaxPairs: 40,
 	}
-	tables, err := runWithShards("window", opts, []int{1}, 2, experiments.TopKANNOptions{}, experiments.UDPSoakOptions{})
+	tables, err := runWithShards("window", opts, []int{1}, 2, experiments.TopKANNOptions{}, experiments.UDPSoakOptions{}, experiments.ClusterOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestRunWindow(t *testing.T) {
 	if tables[0].Rows[3][2] != "bit-identical" {
 		t.Fatalf("parity row = %v", tables[0].Rows[3])
 	}
-	if _, err := runWithShards("window", opts, []int{1}, 0, experiments.TopKANNOptions{}, experiments.UDPSoakOptions{}); err == nil {
+	if _, err := runWithShards("window", opts, []int{1}, 0, experiments.TopKANNOptions{}, experiments.UDPSoakOptions{}, experiments.ClusterOptions{}); err == nil {
 		t.Error("window experiment accepted 0 buckets")
 	}
 }

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzRingDecode throws arbitrary bytes at the ring decoder with the same
+// contract FuzzUnmarshalVOS set for the sketch format: never panic, fail
+// corrupt input with the typed ErrBadRing, never allocate proportionally
+// to attacker-declared sizes (the byte cap bounds the document before
+// parsing, the shard cap bounds the table after), and round-trip anything
+// accepted bit-compatibly.
+func FuzzRingDecode(f *testing.F) {
+	good, err := EncodeRing(testRing())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("{"))
+	f.Add([]byte(`{"version":1,"route_seed":0,"shards":["http://h:1"]}`))
+	f.Add([]byte(`{"version":0,"shards":[]}`))
+	f.Add([]byte(`{"version":1,"shards":["http://h:1","http://h:1"]}`))
+	f.Add([]byte(`{"version":1,"shards":["ftp://h:1"]}`))
+	f.Add([]byte(`{"version":1,"shards":["http://h:1"],"unknown":1}`))
+	f.Add([]byte(`{"version":1,"shards":["http://h:1"]}{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeRing(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadRing) {
+				t.Fatalf("non-ErrBadRing decode failure: %v", err)
+			}
+			return
+		}
+		re, err := EncodeRing(r)
+		if err != nil {
+			t.Fatalf("re-encode of accepted ring failed: %v", err)
+		}
+		again, err := DecodeRing(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Version != r.Version || again.RouteSeed != r.RouteSeed || len(again.Shards) != len(r.Shards) {
+			t.Fatal("round trip changed the ring")
+		}
+		for i := range r.Shards {
+			if again.Shards[i] != r.Shards[i] {
+				t.Fatal("round trip changed a shard entry")
+			}
+		}
+	})
+}
+
+// FuzzClusterManifest is FuzzRingDecode for the manifest format.
+func FuzzClusterManifest(f *testing.F) {
+	good, err := EncodeManifest(testManifest())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("["))
+	f.Add([]byte(`{"ring_version":1,"route_seed":0,"shards":[{"shard":0,"node":"n","position":9}]}`))
+	f.Add([]byte(`{"ring_version":0,"shards":[]}`))
+	f.Add([]byte(`{"ring_version":1,"shards":[{"shard":3,"node":"n","position":0}]}`))
+	f.Add([]byte(`{"ring_version":1,"shards":[{"shard":0,"node":"","position":0}]}`))
+	f.Add([]byte(`{"ring_version":1,"shards":[{"shard":0,"node":"n"}],"x":1}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadManifest) {
+				t.Fatalf("non-ErrBadManifest decode failure: %v", err)
+			}
+			return
+		}
+		re, err := EncodeManifest(m)
+		if err != nil {
+			t.Fatalf("re-encode of accepted manifest failed: %v", err)
+		}
+		again, err := DecodeManifest(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.RingVersion != m.RingVersion || again.RouteSeed != m.RouteSeed || len(again.Shards) != len(m.Shards) {
+			t.Fatal("round trip changed the manifest")
+		}
+		for i := range m.Shards {
+			if again.Shards[i] != m.Shards[i] {
+				t.Fatal("round trip changed a shard row")
+			}
+		}
+	})
+}

@@ -1,0 +1,635 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"github.com/vossketch/vos"
+	"github.com/vossketch/vos/client"
+	"github.com/vossketch/vos/internal/core"
+	"github.com/vossketch/vos/internal/poscache"
+	"github.com/vossketch/vos/server"
+)
+
+// Options tunes a Gateway. The zero value selects the defaults.
+type Options struct {
+	// RingPath, when set, is where membership changes are persisted
+	// (atomically rewritten on every handoff). A gateway built by Open
+	// has it set to the path it loaded.
+	RingPath string
+	// ManifestPath, when set, is where CheckpointCluster records its
+	// manifest.
+	ManifestPath string
+	// Client tunes the per-backend HTTP clients (retry policy, transport,
+	// batch size). Linger is forced off: the gateway ships every ingest
+	// synchronously, because its own ack must mean "acked by the owning
+	// backend's WAL" — a gateway-side buffer would acknowledge edges a
+	// backend crash could lose.
+	Client client.Options
+	// DisableSnapshotCache forces every read to re-gather instead of
+	// reusing the merged cluster sketch until the next acknowledged
+	// ingest or membership change. The cache key covers both, so there is
+	// no correctness knob here — the field exists for benchmarks that
+	// want to measure the cold gather.
+	DisableSnapshotCache bool
+}
+
+// Gateway is the vosgw routing tier: one instance fans ingest to the
+// ring's backends by user shard and answers every read from the XOR-merge
+// of their exported sketches. It implements vos.SimilarityService (plus
+// the Checkpointer, StateExporter, and PartialTopK extensions), so
+// server.New serves it exactly as it serves an engine — the cluster
+// speaks the same /v1/ API as a single node.
+//
+// Parity model: VOS state is pure parity, so for ANY partition of the
+// stream the XOR of the parts' sketches equals the sketch of the whole.
+// The gateway routes each user's edges to one owning backend (keeping
+// per-user cardinalities exact and node-local) and merges all backends
+// for queries — bit-identical to a single engine over the same stream,
+// which the cluster parity tests pin for 2/3/4 nodes across crashes and
+// live handoffs.
+type Gateway struct {
+	opt Options
+
+	// mu guards ring and backends. The ring pointer is replaced, never
+	// mutated, so readers copy it out under RLock and use it lock-free.
+	mu       sync.RWMutex
+	ring     *Ring
+	backends map[string]*client.Client
+
+	// gates serialize handoff against ingest per cluster shard: forward
+	// holds the shard's RLock across "resolve owner, ship, ack", Handoff
+	// holds Lock while it moves the state — so no edge can land on the
+	// source after its state was exported (it would be lost to the
+	// merge), and ingest never fails during a handoff, it just waits.
+	gates []sync.RWMutex
+
+	// ingests counts acknowledged ingest batches; with the ring version
+	// it keys the snapshot cache. Counting BEFORE the gather makes a
+	// stale hit impossible: a racing ingest bumps the counter and the
+	// next query re-gathers.
+	ingests atomic.Uint64
+
+	snapMu  sync.Mutex
+	snap    *core.VOS
+	snapSeq uint64
+	snapVer uint64
+
+	// pcache is shared across every merged snapshot, same as the engine's:
+	// position tables depend only on user and config.
+	pcache *poscache.Cache
+
+	closed atomic.Bool
+}
+
+// New builds a Gateway over a validated ring.
+func New(ring *Ring, opt Options) (*Gateway, error) {
+	if err := ring.Validate(); err != nil {
+		return nil, err
+	}
+	// Synchronous shipping: a batching linger would let the gateway ack
+	// edges no backend has logged yet (see Options.Client).
+	opt.Client.Linger = -1
+	return &Gateway{
+		opt:      opt,
+		ring:     ring.Clone(),
+		backends: make(map[string]*client.Client),
+		gates:    make([]sync.RWMutex, ring.NumShards()),
+		pcache:   poscache.New(4096),
+	}, nil
+}
+
+// Open is New from an on-disk ring document; membership changes are
+// persisted back to the same path.
+func Open(ringPath string, opt Options) (*Gateway, error) {
+	ring, err := LoadRing(ringPath)
+	if err != nil {
+		return nil, err
+	}
+	opt.RingPath = ringPath
+	return New(ring, opt)
+}
+
+// Compile-time interface checks: the gateway is a full service peer.
+var (
+	_ vos.SimilarityService = (*Gateway)(nil)
+	_ vos.Checkpointer      = (*Gateway)(nil)
+	_ vos.StateExporter     = (*Gateway)(nil)
+	_ vos.PartialTopK       = (*Gateway)(nil)
+)
+
+// Ring returns a copy of the live membership table.
+func (g *Gateway) Ring() *Ring {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.ring.Clone()
+}
+
+// Close shuts down every backend client. It does not touch the backends
+// themselves — their lifecycle belongs to their operators.
+func (g *Gateway) Close() error {
+	if !g.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var first error
+	for _, c := range g.backends {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	g.backends = make(map[string]*client.Client)
+	return first
+}
+
+// backend returns (building lazily) the client for a backend base URL.
+func (g *Gateway) backend(url string) *client.Client {
+	g.mu.RLock()
+	c := g.backends[url]
+	g.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c := g.backends[url]; c != nil {
+		return c
+	}
+	c = client.New(url, g.opt.Client)
+	g.backends[url] = c
+	return c
+}
+
+// --- ingest ---
+
+// Ingest implements vos.SimilarityService: edges are grouped by owning
+// cluster shard and shipped to each owner concurrently, synchronously —
+// when Ingest returns nil every edge is acked by its backend (durably,
+// under the backend's sync policy). Routing uses the ring's seed and
+// shard count, both fixed for the cluster's life, so a user's shard never
+// changes; handoffs move whole shards between nodes without re-routing
+// anyone.
+func (g *Gateway) Ingest(ctx context.Context, edges []vos.Edge) error {
+	if g.closed.Load() {
+		return vos.ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+	ring := g.Ring()
+	groups := make(map[int][]vos.Edge)
+	for _, e := range edges {
+		s := ring.ShardOf(e.User)
+		groups[s] = append(groups[s], e)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 0, len(groups))
+	var errMu sync.Mutex
+	for shard, group := range groups {
+		wg.Add(1)
+		go func(shard int, group []vos.Edge) {
+			defer wg.Done()
+			if err := g.forward(ctx, shard, group); err != nil {
+				errMu.Lock()
+				errs = append(errs, fmt.Errorf("shard %d: %w", shard, err))
+				errMu.Unlock()
+			}
+		}(shard, group)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	g.ingests.Add(1)
+	return nil
+}
+
+// forward ships one shard's edges to its owner under the shard's handoff
+// gate. The owner is resolved INSIDE the gate: a handoff completing just
+// before we enter has already moved the state, so the edges must go to
+// the new owner — resolving earlier could write to a node whose state was
+// already exported, losing the edges from every future merge.
+func (g *Gateway) forward(ctx context.Context, shard int, edges []vos.Edge) error {
+	g.gates[shard].RLock()
+	defer g.gates[shard].RUnlock()
+	g.mu.RLock()
+	url := g.ring.Shards[shard]
+	g.mu.RUnlock()
+	c := g.backend(url)
+	if err := c.Ingest(ctx, edges); err != nil {
+		return err
+	}
+	return c.Flush(ctx)
+}
+
+// --- scatter-gather reads ---
+
+// errNoBackends reports a gather that reached zero nodes.
+var errNoBackends = fmt.Errorf("%w: no cluster backend reachable", vos.ErrQueryUnavailable)
+
+// snapshot gathers every backend's serialized sketch and returns their
+// XOR-merge — the cluster-wide sketch a single engine would hold. This is
+// the gateway's only read primitive: pair similarity, top-K, and stats
+// all query the merge, because the estimator's β and collision-noise
+// terms are properties of the GLOBAL array — per-node answers cannot be
+// combined after the fact, but per-node STATE can, exactly.
+//
+// With allowPartial, unreachable backends are skipped and complete=false
+// reports the gap; otherwise any failure fails the gather. Complete
+// merges are cached, keyed by (acknowledged-ingest count, ring version):
+// the count is captured BEFORE the gather, so a racing ingest can only
+// make a cached snapshot re-gather early, never serve late.
+func (g *Gateway) snapshot(ctx context.Context, allowPartial bool) (*core.VOS, bool, error) {
+	seq := g.ingests.Load()
+	ring := g.Ring()
+	if !g.opt.DisableSnapshotCache {
+		g.snapMu.Lock()
+		if g.snap != nil && g.snapSeq == seq && g.snapVer == ring.Version {
+			snap := g.snap
+			g.snapMu.Unlock()
+			return snap, true, nil
+		}
+		g.snapMu.Unlock()
+	}
+
+	type part struct {
+		sk  *core.VOS
+		err error
+	}
+	parts := make([]part, ring.NumShards())
+	var wg sync.WaitGroup
+	for i, url := range ring.Shards {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			data, err := g.backend(url).ExportSketch(ctx)
+			if err != nil {
+				parts[i] = part{err: fmt.Errorf("backend %s: %w", url, err)}
+				return
+			}
+			sk, err := core.UnmarshalVOS(data)
+			if err != nil {
+				parts[i] = part{err: fmt.Errorf("backend %s: %w", url, err)}
+				return
+			}
+			parts[i] = part{sk: sk}
+		}(i, url)
+	}
+	wg.Wait()
+
+	var merged *core.VOS
+	complete := true
+	for _, p := range parts {
+		if p.err != nil {
+			if !allowPartial {
+				return nil, false, p.err
+			}
+			complete = false
+			continue
+		}
+		if merged == nil {
+			merged = core.MustNew(p.sk.Config())
+			merged.SetPositionCache(g.pcache)
+		}
+		if err := merged.Merge(p.sk); err != nil {
+			// A backend serving a different sketch config is misconfigured,
+			// not unreachable: never paper over it with a partial answer.
+			return nil, false, err
+		}
+	}
+	if merged == nil {
+		return nil, false, errNoBackends
+	}
+	if complete && !g.opt.DisableSnapshotCache {
+		g.snapMu.Lock()
+		g.snap = merged
+		g.snapSeq = seq
+		g.snapVer = ring.Version
+		g.snapMu.Unlock()
+	}
+	return merged, complete, nil
+}
+
+// Similarity implements vos.SimilarityService from the full cluster merge
+// (strict: every backend must answer — a pair estimate over partial state
+// would be silently wrong, exactly what the typed service contract
+// forbids).
+func (g *Gateway) Similarity(ctx context.Context, u, v vos.User) (vos.Estimate, error) {
+	if g.closed.Load() {
+		return vos.Estimate{}, vos.ErrClosed
+	}
+	snap, _, err := g.snapshot(ctx, false)
+	if err != nil {
+		return vos.Estimate{}, err
+	}
+	return snap.Query(u, v), nil
+}
+
+// TopK implements vos.SimilarityService from the full cluster merge,
+// ranked with the same core.RankBefore total order the engine's parallel
+// fan-out uses — so the ranking is bit-identical to a single engine's.
+func (g *Gateway) TopK(ctx context.Context, u vos.User, candidates []vos.User, n int) ([]vos.TopKResult, error) {
+	if g.closed.Load() {
+		return nil, vos.ErrClosed
+	}
+	snap, _, err := g.snapshot(ctx, false)
+	if err != nil {
+		return nil, err
+	}
+	return snap.TopKRecoveredContext(ctx, snap.RecoverSketch(u), candidates, n)
+}
+
+// TopKPartial implements vos.PartialTopK: like TopK, but unreachable
+// backends degrade the answer (complete=false) instead of failing it —
+// the ranking then covers the reachable portion of the cluster. The
+// server surfaces the flag as the X-Vos-Partial header.
+func (g *Gateway) TopKPartial(ctx context.Context, u vos.User, candidates []vos.User, n int) ([]vos.TopKResult, bool, error) {
+	if g.closed.Load() {
+		return nil, false, vos.ErrClosed
+	}
+	snap, complete, err := g.snapshot(ctx, true)
+	if err != nil {
+		return nil, false, err
+	}
+	top, err := snap.TopKRecoveredContext(ctx, snap.RecoverSketch(u), candidates, n)
+	if err != nil {
+		return nil, false, err
+	}
+	return top, complete, nil
+}
+
+// Cardinality implements vos.SimilarityService by routing to the owning
+// backend — the one read that IS node-local: a user's edges all live on
+// its owner, so the owner's count is the exact global count.
+func (g *Gateway) Cardinality(ctx context.Context, u vos.User) (int64, error) {
+	if g.closed.Load() {
+		return 0, vos.ErrClosed
+	}
+	ring := g.Ring()
+	return g.backend(ring.Shards[ring.ShardOf(u)]).Cardinality(ctx, u)
+}
+
+// Stats implements vos.SimilarityService from the full cluster merge.
+// Summing per-backend stats would misreport every global quantity (β is
+// the merged array's ones-fraction, not a sum), so stats pay for a gather
+// like the other merged reads.
+func (g *Gateway) Stats(ctx context.Context) (vos.Stats, error) {
+	if g.closed.Load() {
+		return vos.Stats{}, vos.ErrClosed
+	}
+	snap, _, err := g.snapshot(ctx, false)
+	if err != nil {
+		return vos.Stats{}, err
+	}
+	return snap.Stats(), nil
+}
+
+// ExportSketch implements vos.StateExporter: the serialized cluster-wide
+// merge. A cluster's export is bit-identical to the export of a single
+// engine over the same stream — the property the parity tests compare.
+func (g *Gateway) ExportSketch(ctx context.Context) ([]byte, error) {
+	if g.closed.Load() {
+		return nil, vos.ErrClosed
+	}
+	snap, _, err := g.snapshot(ctx, false)
+	if err != nil {
+		return nil, err
+	}
+	return snap.MarshalBinary()
+}
+
+// --- handoff ---
+
+// Handoff moves cluster shard shard onto the backend at to: quiesce the
+// shard's ingest (writers queue on the gate), export the source node's
+// state, import it into the target (which checkpoints durably before
+// acking), bump and persist the ring, release. XOR-mergeability is what
+// makes this exact: the target's merged state equals the source's, bit
+// for bit, so cluster answers are unchanged across the move.
+//
+// The target must be FRESH — not in the ring. Every gather iterates ring
+// entries, so importing into a node that already owns a shard would merge
+// that node's state into the cluster twice, XOR-cancelling it. For the
+// same reason a handoff that failed AFTER the import may have left state
+// on the target; it must not be replayed against the same target (the
+// second import would cancel the first) — rerun it with a fresh node.
+//
+// It returns the new ring version.
+func (g *Gateway) Handoff(ctx context.Context, shard int, to string) (uint64, error) {
+	if g.closed.Load() {
+		return 0, vos.ErrClosed
+	}
+	if err := validateNodeURL(to); err != nil {
+		return 0, fmt.Errorf("%w: handoff target: %v", ErrBadRing, err)
+	}
+	// The shard count is fixed for the gateway's life (it defines the user
+	// partition), so the range check is safe before taking the gate.
+	if shard < 0 || shard >= len(g.gates) {
+		return 0, fmt.Errorf("%w: shard %d outside [0, %d)", ErrBadRing, shard, len(g.gates))
+	}
+	g.gates[shard].Lock()
+	defer g.gates[shard].Unlock()
+
+	ring := g.Ring()
+	for i, node := range ring.Shards {
+		if node == to {
+			return 0, fmt.Errorf("%w: handoff target %s already owns shard %d (targets must be fresh: a second import would XOR-cancel its state)", ErrBadRing, to, i)
+		}
+	}
+	from := ring.Shards[shard]
+
+	state, err := g.backend(from).ExportSketch(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("handoff shard %d: export from %s: %w", shard, from, err)
+	}
+	if err := g.backend(to).ImportSketch(ctx, state); err != nil {
+		return 0, fmt.Errorf("handoff shard %d: import into %s: %w", shard, to, err)
+	}
+
+	next := ring.Clone()
+	next.Shards[shard] = to
+	next.Version++
+	if g.opt.RingPath != "" {
+		// Persist before publishing: a crash between the two leaves the
+		// on-disk ring ahead of (never behind) the served one, and a
+		// restart serving the new ring is correct — the state moved.
+		if err := SaveRing(g.opt.RingPath, next); err != nil {
+			return 0, fmt.Errorf("handoff shard %d: persist ring: %w", shard, err)
+		}
+	}
+
+	g.mu.Lock()
+	g.ring = next
+	old := g.backends[from]
+	delete(g.backends, from)
+	g.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+	return next.Version, nil
+}
+
+// --- cluster checkpoint ---
+
+// CheckpointCluster quiesces ALL ingest (every shard gate held), triggers
+// each backend's durable checkpoint, and returns the manifest — a
+// consistent cut: no edge is in flight while the backends persist, so
+// the recorded positions jointly cover exactly the acknowledged stream.
+// The manifest is persisted when Options.ManifestPath is set.
+func (g *Gateway) CheckpointCluster(ctx context.Context) (*Manifest, error) {
+	if g.closed.Load() {
+		return nil, vos.ErrClosed
+	}
+	// Ascending gate order matches every other multi-gate path (there are
+	// none today, but the discipline is free) and prevents deadlock with
+	// future ones.
+	for i := range g.gates {
+		g.gates[i].Lock()
+		defer g.gates[i].Unlock()
+	}
+	ring := g.Ring()
+	m := &Manifest{RingVersion: ring.Version, RouteSeed: ring.RouteSeed, Shards: make([]ManifestShard, ring.NumShards())}
+	for i, url := range ring.Shards {
+		pos, err := g.backend(url).Checkpoint(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("cluster checkpoint: shard %d (%s): %w", i, url, err)
+		}
+		m.Shards[i] = ManifestShard{Shard: i, Node: url, Position: pos}
+	}
+	if g.opt.ManifestPath != "" {
+		if err := SaveManifest(g.opt.ManifestPath, m); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Checkpoint implements vos.Checkpointer by delegating to
+// CheckpointCluster; the returned position is the SUM of the backends'
+// WAL positions — an aggregate progress marker, not a seekable offset
+// (use CheckpointCluster for the per-node manifest).
+func (g *Gateway) Checkpoint(ctx context.Context) (uint64, error) {
+	m, err := g.CheckpointCluster(ctx)
+	if err != nil {
+		return 0, err
+	}
+	var sum uint64
+	for _, s := range m.Shards {
+		sum += s.Position
+	}
+	return sum, nil
+}
+
+// --- gateway HTTP surface ---
+
+// Handler wraps the standard /v1/ API handler with the gateway-only
+// routes (ring, handoff, cluster checkpoint). vosgw serves
+// Handler(server.New(gw, opts)); the exact-path registrations win over
+// the api handler's catch-all.
+func (g *Gateway) Handler(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(server.RouteClusterRing, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			gwError(w, http.StatusMethodNotAllowed, server.CodeMethodNotAllowed, server.RouteClusterRing+" requires GET")
+			return
+		}
+		ring := g.Ring()
+		gwJSON(w, http.StatusOK, server.RingResponse{Version: ring.Version, RouteSeed: ring.RouteSeed, Shards: ring.Shards})
+	})
+	mux.HandleFunc(server.RouteClusterHandoff, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			gwError(w, http.StatusMethodNotAllowed, server.CodeMethodNotAllowed, server.RouteClusterHandoff+" requires POST")
+			return
+		}
+		var req server.HandoffRequest
+		if err := decodeJSONBody(r, &req); err != nil {
+			gwError(w, http.StatusBadRequest, server.CodeBadRequest, err.Error())
+			return
+		}
+		version, err := g.Handoff(r.Context(), req.Shard, req.To)
+		if err != nil {
+			g.gwServiceError(w, err)
+			return
+		}
+		gwJSON(w, http.StatusOK, server.HandoffResponse{Version: version})
+	})
+	mux.HandleFunc(server.RouteClusterCheckpoint, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			gwError(w, http.StatusMethodNotAllowed, server.CodeMethodNotAllowed, server.RouteClusterCheckpoint+" requires POST")
+			return
+		}
+		m, err := g.CheckpointCluster(r.Context())
+		if err != nil {
+			g.gwServiceError(w, err)
+			return
+		}
+		resp := server.ClusterCheckpointResponse{RingVersion: m.RingVersion, Shards: make([]server.ClusterNodeCheckpointJSON, len(m.Shards))}
+		for i, s := range m.Shards {
+			resp.Shards[i] = server.ClusterNodeCheckpointJSON{Shard: s.Shard, Node: s.Node, Position: s.Position}
+		}
+		gwJSON(w, http.StatusOK, resp)
+	})
+	mux.Handle("/", api)
+	return mux
+}
+
+// gwServiceError maps gateway errors onto the standard envelope: ring
+// violations are the caller's fault, everything else goes through the
+// shared service mapping (a backend's *client.Error keeps its own status).
+func (g *Gateway) gwServiceError(w http.ResponseWriter, err error) {
+	var apiErr *client.Error
+	switch {
+	case errors.Is(err, ErrBadRing):
+		gwError(w, http.StatusBadRequest, server.CodeBadRequest, err.Error())
+	case errors.As(err, &apiErr):
+		gwError(w, apiErr.Status, apiErr.Code, err.Error())
+	case errors.Is(err, context.Canceled):
+		gwError(w, server.StatusClientClosedRequest, server.CodeCanceled, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		gwError(w, http.StatusGatewayTimeout, server.CodeTimeout, err.Error())
+	case errors.Is(err, vos.ErrClosed), errors.Is(err, vos.ErrQueryUnavailable):
+		gwError(w, http.StatusServiceUnavailable, server.CodeUnavailable, err.Error())
+	default:
+		gwError(w, http.StatusBadGateway, server.CodeInternal, err.Error())
+	}
+}
+
+// decodeJSONBody strictly decodes one JSON value into out (unknown
+// fields refused, trailing data refused, body capped at the ring
+// document limit — gateway control-plane bodies are tiny).
+func decodeJSONBody(r *http.Request, out any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, MaxRingBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out); err != nil {
+		return fmt.Errorf("bad JSON body: %v", err)
+	}
+	if dec.More() {
+		return errors.New("bad JSON body: trailing data")
+	}
+	return nil
+}
+
+// gwJSON and gwError mirror the server package's response helpers (which
+// are unexported) for the gateway-only routes, emitting the same
+// Content-Type and error envelope so clients see one uniform protocol.
+func gwJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", server.ContentTypeJSON)
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func gwError(w http.ResponseWriter, status int, code, msg string) {
+	gwJSON(w, status, server.ErrorEnvelope{Error: server.ErrorBody{Code: code, Message: msg}})
+}

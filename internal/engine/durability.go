@@ -146,7 +146,7 @@ func Open(cfg Config) (*Engine, error) {
 		log.Close()
 		return nil, err
 	}
-	e.base = base
+	e.base.Store(base)
 	if winBase != nil {
 		// Re-align the fresh shard rings to the persisted bucket boundaries
 		// so the recovered base and the shards rotate in lockstep. The swap

@@ -235,12 +235,15 @@ type Engine struct {
 	// durability.go). log is the write-ahead log; walMu gates appends
 	// against checkpoints: producers hold RLock across append-then-route,
 	// Checkpoint holds Lock, so no batch ever straddles a checkpoint
-	// position. base is the sketch recovered from the newest checkpoint,
-	// frozen after Open: shards hold only post-checkpoint deltas and query
-	// paths merge the base back in.
+	// position. base is the sketch recovered from the newest checkpoint
+	// (plus any ImportSketch merges — see transfer.go): shards hold only
+	// post-checkpoint deltas and query paths merge the base back in. Each
+	// published base sketch is immutable; ImportSketch swaps in a freshly
+	// merged one, which is why the pointer is atomic — Cardinality and
+	// QueryLocal read it without any lock.
 	log   *wal.Log
 	walMu sync.RWMutex
-	base  *core.VOS
+	base  atomic.Pointer[core.VOS]
 
 	// Sliding-window state (zero on unwindowed engines — see window.go).
 	// winMu orders rotation against multi-shard reads: AdvanceWindowTo
@@ -648,10 +651,11 @@ func (e *Engine) snapshotMaxLag(maxLag uint64) *core.VOS {
 	}
 	merged := core.MustNew(e.cfg.Sketch)
 	merged.SetPositionCache(e.pcache) // tables survive snapshot rebuilds
-	if e.base != nil {
-		// The recovered checkpoint; frozen after Open, identical config by
-		// Open's validation, so the merge cannot fail.
-		if err := merged.Merge(e.base); err != nil {
+	if base := e.base.Load(); base != nil {
+		// The recovered checkpoint (possibly extended by ImportSketch);
+		// immutable once published, identical config by Open's and
+		// ImportSketch's validation, so the merge cannot fail.
+		if err := merged.Merge(base); err != nil {
 			panic(fmt.Sprintf("engine: base merge failed: %v", err))
 		}
 	}
@@ -809,7 +813,7 @@ func (e *Engine) QueryLocal(u, v stream.User) (core.Estimate, error) {
 	if e.closed.Load() {
 		return core.Estimate{}, ErrClosed
 	}
-	if e.base != nil || e.winBase != nil {
+	if e.base.Load() != nil || e.winBase != nil {
 		return core.Estimate{}, fmt.Errorf("%w: pre-checkpoint state lives in the recovery base, not in any shard", ErrQueryUnavailable)
 	}
 	e.maybeAdvance()
@@ -877,8 +881,8 @@ func (e *Engine) Cardinality(u stream.User) int64 {
 	s.skMu.RLock()
 	c := s.sk.Cardinality(u)
 	s.skMu.RUnlock()
-	if e.base != nil {
-		c += e.base.Cardinality(u)
+	if base := e.base.Load(); base != nil {
+		c += base.Cardinality(u)
 	}
 	if e.winBase != nil {
 		c += e.winBase.Cardinality(u)

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/vossketch/vos"
+	"github.com/vossketch/vos/internal/cluster"
+	"github.com/vossketch/vos/internal/core"
+	"github.com/vossketch/vos/internal/gen"
+	"github.com/vossketch/vos/internal/stream"
+	"github.com/vossketch/vos/server"
+)
+
+// ClusterOptions tunes the cluster experiment.
+type ClusterOptions struct {
+	// Edges is the workload size per cluster run (default 120000).
+	Edges int
+	// Nodes is the node-count sweep (default 1, 2, 3, 4). The 1-node row
+	// is the gateway-overhead baseline; every multi-node row also performs
+	// a live shard handoff at half-stream.
+	Nodes []int
+	// BatchSize is the ingest batch handed to the gateway per call
+	// (default 256).
+	BatchSize int
+}
+
+func (o ClusterOptions) withDefaults() ClusterOptions {
+	if o.Edges <= 0 {
+		o.Edges = 120_000
+	}
+	if len(o.Nodes) == 0 {
+		o.Nodes = []int{1, 2, 3, 4}
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	return o
+}
+
+// Cluster measures the gateway tier over real loopback HTTP: for each
+// node count it stands up K engine-backed vosd equivalents behind an
+// internal/cluster gateway, fans the workload in through the gateway,
+// hands a shard off to a fresh node at half-stream (multi-node rows), and
+// times both the sharded ingest and the scatter-gather read path (cold
+// gather vs cached snapshot).
+//
+// Every row is parity-gated before it is reported: the cluster's merged
+// export must be bit-identical to a single in-process sketch fed the same
+// stream, and sampled similarity answers must match it exactly — the
+// tentpole guarantee (XOR-mergeable state makes distribution invisible to
+// queries), measured rather than assumed. Any divergence is an error, not
+// a row.
+func Cluster(opts Options, copts ClusterOptions) (*Table, error) {
+	opts = opts.normalized()
+	copts = copts.withDefaults()
+
+	p, err := gen.ProfileByName(opts.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	p.Users = opts.RuntimeUsers
+	p.Items = opts.RuntimeUsers * 4
+	p.Edges = uint64(copts.Edges)
+	base := gen.Bipartite(p, opts.Seed)
+	edges := gen.Dynamize(base, gen.PaperDynamize(len(base), opts.Seed+1))
+
+	cfg := core.PaperConfig(int(opts.RuntimeUsers), opts.K32, opts.Lambda, uint64(opts.Seed))
+
+	// The single-engine oracle every cluster run must reproduce bit for bit.
+	oracle := core.MustNew(cfg)
+	oracle.ProcessBatch(edges)
+	want, err := oracle.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := &Table{
+		ID:    "cluster",
+		Title: fmt.Sprintf("cluster gateway: scatter-gather over K vosd-equivalent nodes, %d edges over loopback", len(edges)),
+		Header: []string{"nodes", "edges", "handoff", "ingest-wall", "edges/s", "ns/edge",
+			"gather-cold", "query-cached", "parity"},
+	}
+	tbl.AddNote("dataset=%s users=%d edges=%d (after dynamize) batch=%d",
+		p.Name, p.Users, len(edges), copts.BatchSize)
+	tbl.AddNote("sketch: m=%d bits, k=%d, seed=%d", cfg.MemoryBits, cfg.SketchBits, cfg.Seed)
+	tbl.AddNote("parity gate: cluster export bit-identical to the single-engine oracle + sampled query equality")
+
+	for _, k := range copts.Nodes {
+		if err := clusterRun(tbl, cfg, edges, k, copts.BatchSize, want, oracle); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// clusterBackend is one engine-backed node on a real loopback listener.
+type clusterBackend struct {
+	eng *vos.Engine
+	srv *http.Server
+	url string
+}
+
+func startClusterBackend(cfg core.Config) (*clusterBackend, error) {
+	eng, err := vos.NewEngine(vos.EngineConfig{Sketch: cfg, Shards: 2})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	srv := &http.Server{Handler: server.New(vos.NewEngineService(eng), server.Options{})}
+	go srv.Serve(ln)
+	return &clusterBackend{eng: eng, srv: srv, url: "http://" + ln.Addr().String()}, nil
+}
+
+func (b *clusterBackend) stop() {
+	b.srv.Close()
+	b.eng.Close()
+}
+
+// clusterRun times one K-node cluster over the workload and gates on
+// bit-exact parity with the oracle. Multi-node runs move one shard to a
+// fresh node at half-stream, so the reported numbers include a live
+// handoff — the configuration a real rebalance runs in.
+func clusterRun(tbl *Table, cfg core.Config, edges []stream.Edge, k, batch int, want []byte, oracle *core.VOS) error {
+	backends := make([]*clusterBackend, 0, k+1)
+	defer func() {
+		for _, b := range backends {
+			b.stop()
+		}
+	}()
+	shards := make([]string, k)
+	for i := 0; i < k; i++ {
+		b, err := startClusterBackend(cfg)
+		if err != nil {
+			return err
+		}
+		backends = append(backends, b)
+		shards[i] = b.url
+	}
+	gw, err := cluster.New(&cluster.Ring{Version: 1, RouteSeed: uint64(k), Shards: shards},
+		cluster.Options{})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+	ctx := context.Background()
+
+	ingest := func(span []stream.Edge) error {
+		for off := 0; off < len(span); off += batch {
+			end := off + batch
+			if end > len(span) {
+				end = len(span)
+			}
+			if err := gw.Ingest(ctx, span[off:end]); err != nil {
+				return fmt.Errorf("cluster: ingest (k=%d): %w", k, err)
+			}
+		}
+		return nil
+	}
+
+	half := len(edges) / 2
+	handoff := "-"
+	t0 := time.Now()
+	if err := ingest(edges[:half]); err != nil {
+		return err
+	}
+	if k > 1 {
+		// Live handoff mid-stream: shard k-1 moves to a fresh node.
+		fresh, err := startClusterBackend(cfg)
+		if err != nil {
+			return err
+		}
+		backends = append(backends, fresh)
+		h0 := time.Now()
+		if _, err := gw.Handoff(ctx, k-1, fresh.url); err != nil {
+			return fmt.Errorf("cluster: handoff (k=%d): %w", k, err)
+		}
+		handoff = time.Since(h0).Round(time.Millisecond).String()
+	}
+	if err := ingest(edges[half:]); err != nil {
+		return err
+	}
+	elapsed := time.Since(t0)
+
+	// Cold gather: the first read scatter-gathers and merges every node's
+	// serialized sketch. Cached: repeat reads hit the snapshot cache until
+	// the next ingest.
+	g0 := time.Now()
+	if _, err := gw.Similarity(ctx, 1, 2); err != nil {
+		return fmt.Errorf("cluster: cold gather (k=%d): %w", k, err)
+	}
+	gatherCold := time.Since(g0)
+	q0 := time.Now()
+	const cachedQueries = 50
+	for i := 0; i < cachedQueries; i++ {
+		if _, err := gw.Similarity(ctx, stream.User(i), stream.User(i+1)); err != nil {
+			return fmt.Errorf("cluster: cached query (k=%d): %w", k, err)
+		}
+	}
+	queryCached := time.Since(q0) / cachedQueries
+
+	// Parity gates: serialized state, then sampled answers.
+	got, err := gw.ExportSketch(ctx)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("cluster: %d-node export diverged from the single-engine oracle", k)
+	}
+	for u := stream.User(0); u < 40; u += 3 {
+		est, err := gw.Similarity(ctx, u, u+1)
+		if err != nil {
+			return err
+		}
+		if est != oracle.Query(u, u+1) {
+			return fmt.Errorf("cluster: %d-node Similarity(%d,%d) diverged from the oracle", k, u, u+1)
+		}
+		card, err := gw.Cardinality(ctx, u)
+		if err != nil {
+			return err
+		}
+		if card != oracle.Cardinality(u) {
+			return fmt.Errorf("cluster: %d-node Cardinality(%d) diverged from the oracle", k, u)
+		}
+	}
+
+	tbl.AddRow(fmt.Sprintf("%d", k), fmt.Sprintf("%d", len(edges)), handoff,
+		elapsed.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.0f", float64(len(edges))/elapsed.Seconds()),
+		fmt.Sprintf("%.0f", float64(elapsed.Nanoseconds())/float64(len(edges))),
+		gatherCold.Round(time.Microsecond).String(),
+		queryCached.Round(time.Microsecond).String(),
+		"yes")
+	return nil
+}

@@ -1,0 +1,208 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/vossketch/vos"
+	"github.com/vossketch/vos/client"
+	"github.com/vossketch/vos/server"
+)
+
+// TestClusterSketchRoundTrip pins the backend half of a shard handoff
+// over the wire: GET /v1/cluster/sketch returns the engine's exact
+// serialized state, POST /v1/cluster/import merges it into another
+// backend, and the receiver's own export matches a whole-stream engine
+// byte for byte.
+func TestClusterSketchRoundTrip(t *testing.T) {
+	edges := feasibleStream(5_000, 80, 0.25, 41)
+
+	whole, err := vos.NewEngine(testEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { whole.Close() })
+	if err := whole.ProcessBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	whole.Flush()
+	want, err := whole.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src, _, srcURL := newWired(t, server.Options{}, client.Options{MaxRetries: -1})
+	if err := src.ProcessBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	src.Flush()
+
+	resp, err := http.Get(srcURL + server.RouteClusterSketch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export: status %d body %s", resp.StatusCode, state)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != server.ContentTypeBinary {
+		t.Fatalf("export content type %q", ct)
+	}
+	if !bytes.Equal(state, want) {
+		t.Fatal("exported state differs from the engine's MarshalBinary")
+	}
+
+	_, _, dstURL := newWired(t, server.Options{}, client.Options{MaxRetries: -1})
+	resp, err = http.Post(dstURL+server.RouteClusterImport, server.ContentTypeBinary, bytes.NewReader(state))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir server.ImportResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ir.Bytes != len(state) {
+		t.Fatalf("import: status %d, acked %d bytes (sent %d)", resp.StatusCode, ir.Bytes, len(state))
+	}
+
+	resp, err = http.Get(dstURL + server.RouteClusterSketch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("receiver's export differs from the whole-stream engine after import")
+	}
+}
+
+// TestClusterRoutesUnsupported: a service without the state-transfer
+// interfaces answers 501 unsupported on both handoff routes — the probe
+// contract every optional capability follows.
+func TestClusterRoutesUnsupported(t *testing.T) {
+	sk, err := vos.New(vos.Config{MemoryBits: 1 << 14, SketchBits: 256, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(vos.NewSketchService(sk), server.Options{}))
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + server.RouteClusterSketch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env server.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented || env.Error.Code != server.CodeUnsupported {
+		t.Fatalf("sketch export on non-exporter: status %d code %q", resp.StatusCode, env.Error.Code)
+	}
+
+	resp, err = http.Post(ts.URL+server.RouteClusterImport, server.ContentTypeBinary, strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented || env.Error.Code != server.CodeUnsupported {
+		t.Fatalf("sketch import on non-importer: status %d code %q", resp.StatusCode, env.Error.Code)
+	}
+}
+
+// TestClusterImportRejects pins the import refusal surface over HTTP:
+// corrupt payloads map to 400 bad_request (via vos.ErrCorruptSketch),
+// wrong content types are refused before the body is read, and method
+// gates hold on both routes.
+func TestClusterImportRejects(t *testing.T) {
+	_, _, url := newWired(t, server.Options{}, client.Options{MaxRetries: -1})
+
+	cases := []struct {
+		name        string
+		contentType string
+		body        string
+		status      int
+		code        string
+	}{
+		{"corrupt payload", server.ContentTypeBinary, "not a sketch at all", http.StatusBadRequest, server.CodeBadRequest},
+		{"wrong content type", server.ContentTypeJSON, "{}", http.StatusBadRequest, server.CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(url+server.RouteClusterImport, tc.contentType, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var env server.ErrorEnvelope
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.status || env.Error.Code != tc.code {
+				t.Fatalf("status %d code %q, want %d %q", resp.StatusCode, env.Error.Code, tc.status, tc.code)
+			}
+		})
+	}
+
+	// Method gates: the export route is GET-only, the import route POST-only.
+	resp, err := http.Post(url+server.RouteClusterSketch, server.ContentTypeBinary, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST on export route: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(url + server.RouteClusterImport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on import route: status %d", resp.StatusCode)
+	}
+}
+
+// TestTopKPartialHeader: a plain engine service implements no PartialTopK,
+// so /v1/topk answers never carry X-Vos-Partial — the header is reserved
+// for gateway-degraded responses.
+func TestTopKPartialHeader(t *testing.T) {
+	eng, _, url := newWired(t, server.Options{}, client.Options{MaxRetries: -1})
+	if err := eng.ProcessBatch(feasibleStream(500, 20, 0.1, 9)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Flush()
+
+	body, err := json.Marshal(server.TopKRequest{User: 1, Candidates: []uint64{2, 3, 4}, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+server.RouteTopK, server.ContentTypeJSON, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topk: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(server.HeaderPartial); got != "" {
+		t.Fatalf("complete top-K carried %s: %q", server.HeaderPartial, got)
+	}
+}

@@ -29,7 +29,7 @@ func readRepoFile(t *testing.T, path string) string {
 func sourceRoutes(t *testing.T) []string {
 	t.Helper()
 	src := readRepoFile(t, "server.go")
-	re := regexp.MustCompile(`"(/v1/[a-z]+)"`)
+	re := regexp.MustCompile(`"(/v1/[a-z]+(?:/[a-z]+)*)"`)
 	seen := map[string]bool{}
 	var out []string
 	for _, m := range re.FindAllStringSubmatch(src, -1) {
@@ -38,7 +38,7 @@ func sourceRoutes(t *testing.T) []string {
 			out = append(out, m[1])
 		}
 	}
-	if len(out) < 9 {
+	if len(out) < 14 {
 		t.Fatalf("found only %d routes in server.go — extraction broken?", len(out))
 	}
 	return out
@@ -98,6 +98,7 @@ func TestOpenAPIStructure(t *testing.T) {
 		"draining",           // drain-vs-unavailable semantics
 		"enum: [exact, ann]", // the top-K candidate-generation mode
 		`"501"`,              // ann/checkpoint capability degradation
+		HeaderPartial,        // degraded scatter-gather marker on /v1/topk
 	} {
 		if !strings.Contains(spec, anchor) {
 			t.Errorf("spec is missing required anchor %q", anchor)

@@ -33,7 +33,29 @@ const (
 	RouteHealthz     = "/v1/healthz"     // GET liveness
 	RouteReadyz      = "/v1/readyz"      // GET readiness (503 while draining)
 	RouteMetrics     = "/v1/metrics"     // GET per-endpoint counters
+
+	// Backend-side cluster state-transfer routes, served when the backing
+	// service implements vos.StateExporter / vos.StateImporter (an
+	// engine-backed vosd does; 501 otherwise). The gateway uses them for
+	// scatter-gather queries and shard handoff.
+	RouteClusterSketch = "/v1/cluster/sketch" // GET: serialized engine state (binary)
+	RouteClusterImport = "/v1/cluster/import" // POST: merge serialized state (handoff target)
 )
+
+// Gateway-tier routes, registered by internal/cluster.Gateway.Handler on
+// vosgw, never by this package's New — a backend has no ring to serve.
+// They are declared here so the route table (and the CI route-harvest
+// check against docs/openapi.yaml) has one home.
+const (
+	RouteClusterRing       = "/v1/cluster/ring"       // GET: the live shard→node table
+	RouteClusterHandoff    = "/v1/cluster/handoff"    // POST HandoffRequest: move a shard
+	RouteClusterCheckpoint = "/v1/cluster/checkpoint" // POST: cluster-wide checkpoint → manifest
+)
+
+// HeaderPartial marks a degraded scatter-gather response: "true" means
+// part of the cluster state was unreachable and the body covers only the
+// reachable portion (see vos.PartialTopK). Absent on complete answers.
+const HeaderPartial = "X-Vos-Partial"
 
 // HeaderBatchTs optionally carries a whole ingest batch's event time as
 // fractional Unix seconds — the header equivalent of the per-edge "ts"
@@ -170,6 +192,8 @@ func New(svc vos.SimilarityService, opt Options) *Server {
 	s.handle(RouteCardinality, http.MethodGet, s.handleCardinality)
 	s.handle(RouteStats, http.MethodGet, s.handleStats)
 	s.handle(RouteCheckpoint, http.MethodPost, s.handleCheckpoint)
+	s.handle(RouteClusterSketch, http.MethodGet, s.handleClusterSketch)
+	s.handle(RouteClusterImport, http.MethodPost, s.handleClusterImport)
 	s.handle(RouteMetrics, http.MethodGet, s.handleMetrics)
 	// Health endpoints bypass the drain gate: a draining instance is still
 	// alive, and readiness must keep answering (with 503) so load
@@ -604,11 +628,26 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		for i, c := range req.Candidates {
 			candidates[i] = vos.User(c)
 		}
-		var err error
-		top, err = s.svc.TopK(r.Context(), vos.User(req.User), candidates, req.N)
-		if err != nil {
-			s.writeServiceError(w, err)
-			return
+		if pt, ok := s.svc.(vos.PartialTopK); ok {
+			// Degraded-read capable backends (the cluster gateway) answer
+			// even with part of the state unreachable; incompleteness is
+			// surfaced as a header so the body shape stays identical.
+			results, complete, err := pt.TopKPartial(r.Context(), vos.User(req.User), candidates, req.N)
+			if err != nil {
+				s.writeServiceError(w, err)
+				return
+			}
+			if !complete {
+				w.Header().Set(HeaderPartial, "true")
+			}
+			top = results
+		} else {
+			var err error
+			top, err = s.svc.TopK(r.Context(), vos.User(req.User), candidates, req.N)
+			if err != nil {
+				s.writeServiceError(w, err)
+				return
+			}
 		}
 	case "ann":
 		if req.N <= 0 {
@@ -670,6 +709,60 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.UDP = &udp
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- cluster state transfer ---
+
+// maxImportBytes caps a POST /v1/cluster/import body. A serialized sketch
+// is array + cardinality map — far under this for any real config — but
+// the cap keeps a malicious body from buffering without bound (imports
+// are rare control-plane transfers, deliberately not charged against the
+// ingest admission budget).
+const maxImportBytes = 1 << 30
+
+func (s *Server) handleClusterSketch(w http.ResponseWriter, r *http.Request) {
+	exp, ok := s.svc.(vos.StateExporter)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, CodeUnsupported, "backing service does not export sketch state")
+		return
+	}
+	data, err := exp.ExportSketch(r.Context())
+	if err != nil {
+		s.writeServiceError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleClusterImport(w http.ResponseWriter, r *http.Request) {
+	imp, ok := s.svc.(vos.StateImporter)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, CodeUnsupported, "backing service does not import sketch state")
+		return
+	}
+	if ct := normalizeCT(r.Header.Get("Content-Type")); ct != ContentTypeBinary {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("cluster import takes %s, got %q", ContentTypeBinary, ct))
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxImportBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge, err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	if err := imp.ImportSketch(r.Context(), data); err != nil {
+		s.writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ImportResponse{Bytes: len(data)})
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
@@ -761,6 +854,10 @@ func statusFor(err error) (int, string) {
 		// been retired from the sliding window.
 		return http.StatusUnprocessableEntity, CodeOutsideWindow
 	case errors.Is(err, vos.ErrNoWindow):
+		return http.StatusBadRequest, CodeBadRequest
+	case errors.Is(err, vos.ErrCorruptSketch), errors.Is(err, vos.ErrFamilyMismatch):
+		// Cluster import of undecodable or cross-family state: the request
+		// body is at fault, not the server.
 		return http.StatusBadRequest, CodeBadRequest
 	case errors.Is(err, vos.ErrClosed), errors.Is(err, vos.ErrQueryUnavailable):
 		return http.StatusServiceUnavailable, CodeUnavailable

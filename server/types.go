@@ -243,6 +243,52 @@ type HealthResponse struct {
 	Status string `json:"status"` // "ok" or "draining"
 }
 
+// ImportResponse is the POST /v1/cluster/import answer.
+type ImportResponse struct {
+	// Bytes is the serialized-sketch size that was merged and (on durable
+	// engines) checkpointed before this acknowledgement.
+	Bytes int `json:"bytes"`
+}
+
+// RingResponse is the GET /v1/cluster/ring answer (gateway tier): the
+// live shard→node table, in the same shape as the on-disk ring document.
+type RingResponse struct {
+	Version   uint64   `json:"version"`
+	RouteSeed uint64   `json:"route_seed"`
+	Shards    []string `json:"shards"`
+}
+
+// HandoffRequest is the POST /v1/cluster/handoff body (gateway tier):
+// move cluster shard Shard onto the fresh backend at To.
+type HandoffRequest struct {
+	Shard int `json:"shard"`
+	// To is the target backend's base URL; it must be a fresh node not
+	// already in the ring (its state is merged wholesale, so a node
+	// already owning a shard would double-count — and XOR-cancel — state).
+	To string `json:"to"`
+}
+
+// HandoffResponse is the POST /v1/cluster/handoff answer.
+type HandoffResponse struct {
+	// Version is the ring version after the move.
+	Version uint64 `json:"version"`
+}
+
+// ClusterNodeCheckpointJSON is one shard's row in a cluster checkpoint.
+type ClusterNodeCheckpointJSON struct {
+	Shard    int    `json:"shard"`
+	Node     string `json:"node"`
+	Position uint64 `json:"position"`
+}
+
+// ClusterCheckpointResponse is the POST /v1/cluster/checkpoint answer
+// (gateway tier): every backend checkpointed under a full ingest quiesce,
+// recorded as a manifest.
+type ClusterCheckpointResponse struct {
+	RingVersion uint64                      `json:"ring_version"`
+	Shards      []ClusterNodeCheckpointJSON `json:"shards"`
+}
+
 // Error codes of the /v1/ error envelope. Every non-2xx response carries
 // {"error":{"code":<one of these>,"message":...}}; clients branch on Code,
 // never on message text.

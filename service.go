@@ -98,6 +98,41 @@ type ApproxTopK interface {
 	TopKApprox(ctx context.Context, u User, n int) ([]TopKResult, error)
 }
 
+// StateExporter is the optional state-transfer extension of
+// SimilarityService: implementations can serialize their complete sketch
+// state (the core.VOS wire format, as Unmarshal reads). It is the source
+// half of a cluster shard handoff and the gateway's scatter-gather unit —
+// pair estimates depend on the merged array's global fill, so a cluster
+// query gathers each backend's exported state and queries the XOR-merge.
+// GET /v1/cluster/sketch probes for it.
+type StateExporter interface {
+	// ExportSketch returns the serialized state covering every edge
+	// acknowledged before the call.
+	ExportSketch(ctx context.Context) ([]byte, error)
+}
+
+// StateImporter is the receiving half of a shard handoff: ImportSketch
+// XOR-merges a serialized sketch into the implementation's state (and, on
+// a durable engine, checkpoints before acknowledging — the imported edges
+// exist in no local WAL record). Importing the same state twice cancels
+// it; callers must not retry a completed import against the same target.
+// POST /v1/cluster/import probes for it.
+type StateImporter interface {
+	ImportSketch(ctx context.Context, data []byte) error
+}
+
+// PartialTopK is the optional degraded-read extension of
+// SimilarityService: TopKPartial answers a top-K probe even when part of
+// the backing state is unreachable (a draining or crashed cluster
+// backend), reporting completeness alongside the results. complete=false
+// means the ranking covers only the reachable portion of the state; the
+// estimates in it are still computed exactly over that portion. The
+// server probes for it on POST /v1/topk and surfaces incompleteness as
+// the X-Vos-Partial response header.
+type PartialTopK interface {
+	TopKPartial(ctx context.Context, u User, candidates []User, n int) ([]TopKResult, bool, error)
+}
+
 // ErrQueryUnavailable is returned by query paths that cannot answer in the
 // backing engine's current state (e.g. Engine.QueryLocal after checkpoint
 // recovery). Callers should fall back to the merged-snapshot query path.
@@ -188,6 +223,27 @@ func (s *engineService) Checkpoint(ctx context.Context) (uint64, error) {
 		return 0, err
 	}
 	return s.e.Checkpoint()
+}
+
+// ExportSketch implements StateExporter: the engine's merged state over
+// every acknowledged edge (MarshalBinary flushes and merges exactly).
+func (s *engineService) ExportSketch(ctx context.Context) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.e.Closed() {
+		return nil, ErrClosed
+	}
+	return s.e.MarshalBinary()
+}
+
+// ImportSketch implements StateImporter (see Engine.ImportSketch for the
+// merge, durability, and double-import semantics).
+func (s *engineService) ImportSketch(ctx context.Context, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.e.ImportSketch(data)
 }
 
 // WindowInfo implements Windowed; ErrNoWindow on an unwindowed engine.

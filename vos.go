@@ -128,6 +128,11 @@ func ParseHashFamily(s string) (HashFamily, error) { return hashing.ParseKind(s)
 // state across different hash families. Use errors.Is to detect it.
 var ErrFamilyMismatch = core.ErrFamilyMismatch
 
+// ErrCorruptSketch reports serialized sketch bytes that do not decode:
+// every Unmarshal (and StateImporter.ImportSketch) failure on malformed
+// input wraps it. Use errors.Is to detect it.
+var ErrCorruptSketch = core.ErrCorrupt
+
 // Estimate bundles the outputs of a similarity query: the common-item
 // estimate (raw and clamped), the Jaccard estimate, the symmetric
 // difference, and the internal α/β diagnostics.
